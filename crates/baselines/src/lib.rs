@@ -1,0 +1,23 @@
+//! # baselines — the comparison points of the paper's Section 2.3 and 4.1
+//!
+//! * [`parbit`] — a PARBIT-style tool (Horta & Lockwood): extracts a
+//!   partial bitstream from a *complete* bitstream of the new design,
+//!   driven by a separate **options file** naming the column range —
+//!   unlike JPG, which derives everything from the CAD flow's own XDL
+//!   and UCF files;
+//! * [`jbitsdiff`] — a JBitsDiff-style tool (James-Roxby & Guccione):
+//!   compares two bitstreams and emits a replayable *core* — a sequence
+//!   of JBits calls that stamps the difference onto any compatible
+//!   bitstream;
+//! * [`fullflow`] — the conventional approach the paper's Figure 4
+//!   argues against: one complete CAD-flow run and one complete bitstream
+//!   per module combination (3×3×4 = 36 runs instead of 3+3+4 = 10
+//!   partials).
+
+pub mod fullflow;
+pub mod jbitsdiff;
+pub mod parbit;
+
+pub use fullflow::{full_flow_all_combinations, FullFlowStats};
+pub use jbitsdiff::{diff_bitstreams, Core, CoreOp};
+pub use parbit::{extract_partial, ParbitOptions};

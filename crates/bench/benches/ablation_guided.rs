@@ -1,0 +1,83 @@
+//! **Ablation — guided floorplanning** (DESIGN.md §5): the paper's
+//! Phase-2 "guided" placement (seeded from the base design) vs placing
+//! the variant from scratch.
+//!
+//! Guidance pins the module interface (pads) to the base sites — a
+//! functional requirement for hot swap — and this ablation also measures
+//! what it does to placement time and quality.
+
+use bench::{header, row, single_region_base};
+use cadflow::{gen, implement, FlowOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use jpg::workflow::module_constraints;
+use std::time::Instant;
+use virtex::Device;
+use xdl::{Placement, Rect};
+
+const DEVICE: Device = Device::XCV100;
+
+fn print_table() {
+    println!("\n== Ablation: guided vs from-scratch variant implementation on {DEVICE} ==");
+    let base = single_region_base(DEVICE, (1, 8), 2);
+    let region = Rect::new(0, 1, DEVICE.geometry().clb_rows as i32 - 1, 8);
+    let cons = module_constraints("mod1/", region);
+    let nl = gen::down_counter("down", 4);
+    let mut opts = FlowOptions::default();
+    opts.route.region_cols = Some((1, 8));
+    opts.route.clock_index = Some(0);
+
+    header(&[
+        "mode",
+        "flow time",
+        "wirelength",
+        "pads on base sites",
+    ]);
+    for (label, guide) in [("guided (paper)", Some(&base.design)), ("from scratch", None)] {
+        let t0 = Instant::now();
+        let (design, report) =
+            implement(&nl, DEVICE, &cons, "mod1/", guide, &opts).expect("flow");
+        let t = t0.elapsed();
+        let stable = design
+            .occupied_iobs()
+            .filter(|(inst, io)| {
+                base.design
+                    .instance(&inst.name)
+                    .map(|bi| bi.placement == Placement::Iob(*io))
+                    .unwrap_or(false)
+            })
+            .count();
+        let total = design.occupied_iobs().count();
+        row(&[
+            label.into(),
+            format!("{t:?}"),
+            format!("{}", report.place.wirelength),
+            format!("{stable}/{total}"),
+        ]);
+    }
+    println!("guided mode keeps every pad in place (hot-swap requirement) and skips most annealing.");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let base = single_region_base(DEVICE, (1, 8), 2);
+    let region = Rect::new(0, 1, DEVICE.geometry().clb_rows as i32 - 1, 8);
+    let cons = module_constraints("mod1/", region);
+    let nl = gen::down_counter("down", 4);
+    let mut opts = FlowOptions::default();
+    opts.route.region_cols = Some((1, 8));
+    opts.route.clock_index = Some(0);
+
+    let mut g = c.benchmark_group("guided");
+    g.sample_size(10);
+    g.bench_function("guided", |b| {
+        b.iter(|| implement(&nl, DEVICE, &cons, "mod1/", Some(&base.design), &opts).expect("flow"))
+    });
+    g.bench_function("from_scratch", |b| {
+        b.iter(|| implement(&nl, DEVICE, &cons, "mod1/", None, &opts).expect("flow"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

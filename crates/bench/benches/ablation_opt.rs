@@ -1,0 +1,83 @@
+//! **Ablation — logic optimization** (pre-mapping constant folding /
+//! CSE / dead-code elimination): effect on LUT count, wirelength, flow
+//! time and timing.
+
+use bench::{header, row};
+use cadflow::{gen, implement, FlowOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use virtex::Device;
+use xdl::Constraints;
+
+const DEVICE: Device = Device::XCV100;
+
+fn print_table() {
+    println!("\n== Ablation: logic optimization before mapping on {DEVICE} ==");
+    header(&[
+        "module",
+        "mode",
+        "gates (pre->post)",
+        "LUTs",
+        "wirelength",
+        "critical path",
+    ]);
+    for nl in [
+        gen::accumulator("acc8", 8),
+        gen::adder("add8", 8),
+        gen::gray_counter("gray6", 6),
+    ] {
+        for optimize in [false, true] {
+            let mut opts = FlowOptions {
+                optimize,
+                ..FlowOptions::default()
+            };
+            opts.place.seed = 5;
+            let (_d, report) =
+                implement(&nl, DEVICE, &Constraints::default(), "", None, &opts).unwrap();
+            row(&[
+                nl.name.clone(),
+                if optimize { "optimized" } else { "raw" }.into(),
+                match report.opt {
+                    Some(s) => format!("{} -> {}", s.gates_before, s.gates_after),
+                    None => format!("{}", nl.gate_count()),
+                },
+                format!("{}", report.luts),
+                format!("{}", report.place.wirelength),
+                format!(
+                    "{:.1} ns",
+                    report.timing.as_ref().map(|t| t.critical_path_ns).unwrap_or(0.0)
+                ),
+            ]);
+        }
+    }
+    println!("optimization removes the constant-carry chains and duplicate terms the naive generators emit.");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let nl = gen::accumulator("acc8", 8);
+    let mut g = c.benchmark_group("opt");
+    g.sample_size(10);
+    for optimize in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("flow", if optimize { "optimized" } else { "raw" }),
+            &optimize,
+            |b, &optimize| {
+                let opts = FlowOptions {
+                    optimize,
+                    ..FlowOptions::default()
+                };
+                b.iter(|| {
+                    implement(&nl, DEVICE, &Constraints::default(), "", None, &opts).unwrap()
+                })
+            },
+        );
+    }
+    g.bench_function("optimize_pass_alone", |b| {
+        b.iter(|| cadflow::optimize(&nl))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

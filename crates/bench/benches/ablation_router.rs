@@ -1,0 +1,88 @@
+//! **Ablation — PathFinder negotiation** (DESIGN.md §5): negotiated
+//! congestion vs first-come-first-served routing, as the floorplan region
+//! shrinks and pressure rises.
+
+use bench::{header, row};
+use cadflow::{gen, map_netlist, pack_with_prefix, place, route, PlaceOptions, RouteOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use virtex::Device;
+use xdl::{Constraints, Design, Rect};
+
+const DEVICE: Device = Device::XCV50;
+
+fn placed_design(region_cols: i32, seed: u64) -> Design {
+    let nl = gen::accumulator("acc", 6);
+    let m = map_netlist(&nl);
+    let mut d = pack_with_prefix(&m, DEVICE, "");
+    let ucf = format!(
+        "INST \"*\" AREA_GROUP = \"AG\" ;\nAREA_GROUP \"AG\" RANGE = {} ;\n",
+        Rect::new(0, 0, 15, region_cols - 1).to_range_string()
+    );
+    let cons = Constraints::parse(&ucf).unwrap();
+    place(&mut d, &cons, None, &PlaceOptions { seed, effort: 1.0 }).expect("place");
+    d
+}
+
+fn print_table() {
+    println!("\n== Ablation: negotiated congestion vs first-come-first-served on {DEVICE} ==");
+    header(&[
+        "region width (cols)",
+        "negotiated: result / iters / time",
+        "FCFS: result / time",
+    ]);
+    for cols in [12i32, 8, 6, 5] {
+        let d0 = placed_design(cols, 3);
+
+        let mut d = d0.clone();
+        let t0 = Instant::now();
+        let nego = route(&mut d, &RouteOptions::default());
+        let t_nego = t0.elapsed();
+        let nego_str = match &nego {
+            Ok(r) => format!("routed / {} / {:?}", r.iterations, t_nego),
+            Err(e) => format!("FAILED ({e}) / - / {t_nego:?}"),
+        };
+
+        let mut d = d0.clone();
+        let t0 = Instant::now();
+        let fcfs = route(
+            &mut d,
+            &RouteOptions {
+                negotiate: false,
+                max_iterations: 1,
+                ..RouteOptions::default()
+            },
+        );
+        let t_fcfs = t0.elapsed();
+        let fcfs_str = match &fcfs {
+            Ok(_) => format!("routed / {t_fcfs:?}"),
+            Err(e) => format!("FAILED ({e}) / {t_fcfs:?}"),
+        };
+
+        row(&[format!("{cols}"), nego_str, fcfs_str]);
+    }
+    println!("negotiation converges under pressure where FCFS leaves overused wires.");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let mut g = c.benchmark_group("router");
+    g.sample_size(10);
+    for cols in [12i32, 6] {
+        let d0 = placed_design(cols, 3);
+        g.bench_with_input(BenchmarkId::new("negotiated", cols), &d0, |b, d0| {
+            b.iter_with_setup(
+                || d0.clone(),
+                |mut d| {
+                    let _ = route(&mut d, &RouteOptions::default());
+                    d
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

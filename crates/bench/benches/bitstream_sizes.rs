@@ -1,0 +1,76 @@
+//! **E8 — derived from §4.1**: partial/complete bitstream size ratios
+//! across the whole device family and across region widths.
+//!
+//! The paper's "each about a third the size of a complete bitstream"
+//! claim generalizes to: a partial covering *k* of *N* CLB columns costs
+//! ≈ k/N of the complete bitstream plus small packet overhead.
+
+use bench::{header, row};
+use bitstream::{bitgen, FrameRange};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use virtex::{BlockType, ConfigMemory, Device};
+
+fn partial_bytes(mem: &ConfigMemory, cols: usize) -> usize {
+    let geom = mem.geometry();
+    let mut frames = Vec::new();
+    for c in 0..cols {
+        let major = geom.major_for_clb_col(c).unwrap();
+        frames.extend(
+            FrameRange::for_column(geom, BlockType::Clb, major)
+                .unwrap()
+                .frames(),
+        );
+    }
+    bitgen::partial_bitstream(mem, &bitgen::coalesce_frames(frames)).byte_len()
+}
+
+fn print_table() {
+    println!("\n== E8: bitstream sizes across the Virtex family ==");
+    header(&[
+        "device",
+        "CLB array",
+        "complete bytes",
+        "1-col partial",
+        "third-of-device partial",
+        "third/complete",
+    ]);
+    for d in Device::ALL {
+        let mem = ConfigMemory::new(d);
+        let full = bitstream::full_bitstream(&mem).byte_len();
+        let cols = d.geometry().clb_cols;
+        let one = partial_bytes(&mem, 1);
+        let third = partial_bytes(&mem, cols / 3);
+        row(&[
+            d.to_string(),
+            format!("{}x{}", d.geometry().clb_rows, d.geometry().clb_cols),
+            format!("{full}"),
+            format!("{one}"),
+            format!("{third}"),
+            format!("{:.1}%", 100.0 * third as f64 / full as f64),
+        ]);
+    }
+    println!("paper claim: a third-of-the-device module yields a partial ≈ a third of the complete bitstream.");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let mut g = c.benchmark_group("bitgen");
+    g.sample_size(20);
+    for d in [Device::XCV50, Device::XCV300, Device::XCV1000] {
+        let mem = ConfigMemory::new(d);
+        g.bench_with_input(BenchmarkId::new("full", d.name()), &mem, |b, mem| {
+            b.iter(|| bitstream::full_bitstream(mem))
+        });
+        g.bench_with_input(BenchmarkId::new("one_col_partial", d.name()), &mem, |b, mem| {
+            let geom = mem.geometry();
+            let major = geom.major_for_clb_col(0).unwrap();
+            let range = FrameRange::for_column(geom, BlockType::Clb, major).unwrap();
+            b.iter(|| bitgen::partial_bitstream(mem, &[range]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! **E3 — §2.1**: "The time involved in downloading the partial bitstream
+//! file and reconfiguring the device will be shorter as the size of the
+//! partial bitstream files will be smaller."
+//!
+//! Series: SelectMAP download time (50 MHz byte-wide model) for complete
+//! vs partial bitstreams, per device and per region width. Criterion
+//! measures the real work of pushing the packets through the device-side
+//! interpreter.
+
+use bench::{header, row};
+use bitstream::{bitgen, FrameRange, Interpreter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simboard::port::download_time;
+use virtex::{BlockType, ConfigMemory, Device};
+
+fn partial_for_cols(mem: &ConfigMemory, c0: usize, c1: usize) -> bitstream::Bitstream {
+    let geom = mem.geometry();
+    let mut frames = Vec::new();
+    for c in c0..=c1 {
+        let major = geom.major_for_clb_col(c).unwrap();
+        frames.extend(
+            FrameRange::for_column(geom, BlockType::Clb, major)
+                .unwrap()
+                .frames(),
+        );
+    }
+    bitgen::partial_bitstream(mem, &bitgen::coalesce_frames(frames))
+}
+
+fn print_table() {
+    println!("\n== E3: configuration download time (SelectMAP @ 50 MHz) ==");
+    header(&[
+        "device",
+        "complete bytes",
+        "complete time",
+        "1/3-device partial",
+        "partial time",
+        "speedup",
+    ]);
+    for d in [Device::XCV50, Device::XCV100, Device::XCV300, Device::XCV800] {
+        let mem = ConfigMemory::new(d);
+        let full = bitstream::full_bitstream(&mem);
+        let cols = d.geometry().clb_cols;
+        let partial = partial_for_cols(&mem, 0, cols / 3 - 1);
+        row(&[
+            d.to_string(),
+            format!("{}", full.byte_len()),
+            format!("{:?}", download_time(full.byte_len())),
+            format!("{}", partial.byte_len()),
+            format!("{:?}", download_time(partial.byte_len())),
+            format!(
+                "{:.1}x",
+                full.byte_len() as f64 / partial.byte_len() as f64
+            ),
+        ]);
+    }
+    println!("\nregion-width sweep on XCV100 (20x30):");
+    header(&["region cols", "partial bytes", "fraction of complete", "download"]);
+    let mem = ConfigMemory::new(Device::XCV100);
+    let full = bitstream::full_bitstream(&mem).byte_len();
+    for w in [1usize, 2, 5, 10, 15, 20, 30] {
+        let p = partial_for_cols(&mem, 0, w - 1);
+        row(&[
+            format!("{w}"),
+            format!("{}", p.byte_len()),
+            format!("{:.1}%", 100.0 * p.byte_len() as f64 / full as f64),
+            format!("{:?}", download_time(p.byte_len())),
+        ]);
+    }
+    println!("paper claim: download time ∝ bitstream bytes; partials reconfigure proportionally faster.");
+
+    println!("\nport comparison (XCV100 complete vs 1/3 partial):");
+    header(&["port", "complete", "partial", "note"]);
+    let full_b = bitstream::full_bitstream(&mem).byte_len();
+    let part_b = partial_for_cols(&mem, 0, 9).byte_len();
+    row(&[
+        "SelectMAP (8 bit @ 50 MHz)".into(),
+        format!("{:?}", download_time(full_b)),
+        format!("{:?}", download_time(part_b)),
+        "paper-era board default".into(),
+    ]);
+    row(&[
+        "JTAG (1 bit @ 33 MHz)".into(),
+        format!("{:?}", simboard::port::jtag_download_time(full_b)),
+        format!("{:?}", simboard::port::jtag_download_time(part_b)),
+        "fallback path; size matters 12x more".into(),
+    ]);
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let mem = ConfigMemory::new(Device::XCV100);
+    let full = bitstream::full_bitstream(&mem);
+    let partial = partial_for_cols(&mem, 0, 9);
+
+    let mut g = c.benchmark_group("download");
+    for (name, bits) in [("complete", &full), ("partial_10col", &partial)] {
+        g.bench_with_input(BenchmarkId::new("load", name), bits, |b, bits| {
+            b.iter(|| {
+                let mut dev = Interpreter::new(Device::XCV100);
+                dev.feed(bits).expect("load");
+                dev
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! **E6 — Figure 1 / §3**: the reconfigurable-computing environment —
+//! "the host processor sends design updates to the FPGA".
+//!
+//! End-to-end hardware context-switch latency, partial vs full: time
+//! from "host decides to swap a module" to "device reconfigured", with
+//! the implementation step amortized (pre-synthesized modules, as in
+//! Figure 1) so the cost is download + configuration.
+
+use bench::{header, row, single_region_base};
+use criterion::{criterion_group, criterion_main, Criterion};
+use jbits::Xhwif;
+use jpg::workflow::implement_variant;
+use jpg::JpgProject;
+use simboard::port::download_time;
+use simboard::SimBoard;
+use virtex::Device;
+
+const DEVICE: Device = Device::XCV100;
+
+fn print_table() {
+    println!("\n== E6: RC context switch (Figure 1) on {DEVICE} ==");
+    let base = single_region_base(DEVICE, (1, 8), 2);
+    let mut project = JpgProject::open(base.bitstream.clone()).expect("open");
+    let variant =
+        implement_variant(&base, "mod1/", &cadflow::gen::gray_counter("g", 4), 4).expect("v");
+    let partial = project
+        .generate_partial(&variant.xdl, &variant.ucf)
+        .expect("partial");
+    project.write_onto_base(&partial).expect("merge");
+    let full_variant = project.base_bitstream().bitstream;
+
+    header(&[
+        "switch method",
+        "bytes on the wire",
+        "modeled download",
+        "device keeps running?",
+    ]);
+    row(&[
+        "full reconfiguration".into(),
+        format!("{}", full_variant.byte_len()),
+        format!("{:?}", download_time(full_variant.byte_len())),
+        "no (whole device reloads)".into(),
+    ]);
+    row(&[
+        "JPG partial".into(),
+        format!("{}", partial.bitstream.byte_len()),
+        format!("{:?}", download_time(partial.bitstream.byte_len())),
+        "yes (other regions keep state)".into(),
+    ]);
+    println!(
+        "speedup: {:.1}x shorter context switch with the partial.",
+        full_variant.byte_len() as f64 / partial.bitstream.byte_len() as f64
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let base = single_region_base(DEVICE, (1, 8), 2);
+    let project = JpgProject::open(base.bitstream.clone()).expect("open");
+    let variant =
+        implement_variant(&base, "mod1/", &cadflow::gen::gray_counter("g", 4), 4).expect("v");
+    let partial = project
+        .generate_partial(&variant.xdl, &variant.ucf)
+        .expect("partial");
+
+    // The real device-side work of the two switch styles, on a live
+    // board (configuration + fabric re-decode).
+    let mut g = c.benchmark_group("context_switch");
+    g.sample_size(10);
+    g.bench_function("partial_switch_on_live_board", |b| {
+        b.iter_with_setup(
+            || {
+                let mut board = SimBoard::new(DEVICE);
+                board
+                    .set_configuration(&base.bitstream.bitstream)
+                    .expect("cfg");
+                board
+            },
+            |mut board| {
+                board.set_configuration(&partial.bitstream).expect("swap");
+                board
+            },
+        )
+    });
+    g.bench_function("full_switch_on_live_board", |b| {
+        b.iter_with_setup(
+            || {
+                let mut board = SimBoard::new(DEVICE);
+                board
+                    .set_configuration(&base.bitstream.bitstream)
+                    .expect("cfg");
+                board
+            },
+            |mut board| {
+                board
+                    .set_configuration(&base.bitstream.bitstream)
+                    .expect("swap");
+                board
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! **E1 — Figure 4 / §4.1**: 3 regions × (3,3,4) variants.
+//!
+//! Conventional flow: 36 complete bitstreams, 36 CAD-flow runs.
+//! JPG flow: 1 complete + 10 partials, 10 module-level flow runs.
+//!
+//! The table reproduces the paper's counts and adds measured bytes and
+//! tool time; Criterion then times one representative unit of each
+//! approach (one full-combination flow vs one module partial).
+
+use baselines::full_flow_all_combinations;
+use bench::{fig4_base, fig4_regions, header, row, FIG4_DEVICE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use jpg::workflow::implement_variant;
+use jpg::JpgProject;
+use std::time::{Duration, Instant};
+
+fn print_table() {
+    let regions = fig4_regions();
+    println!("\n== E1: Figure 4 — bitstream economics on {} ==", FIG4_DEVICE);
+
+    // JPG side: base + 10 partials.
+    let t0 = Instant::now();
+    let base = fig4_base();
+    let base_time = t0.elapsed();
+    let full_bytes = base.bitstream.bitstream.byte_len();
+    let project = JpgProject::open(base.bitstream.clone()).expect("open");
+
+    let mut partial_bytes = 0usize;
+    let mut partial_count = 0usize;
+    let mut jpg_flow_time = Duration::ZERO;
+    let mut jpg_tool_time = Duration::ZERO;
+    for r in &regions {
+        for (vi, nl) in r.variants.iter().enumerate() {
+            let t = Instant::now();
+            let v = implement_variant(&base, &r.prefix, nl, 100 + vi as u64).expect("variant");
+            jpg_flow_time += t.elapsed();
+            let t = Instant::now();
+            let p = project.generate_partial(&v.xdl, &v.ucf).expect("partial");
+            jpg_tool_time += t.elapsed();
+            partial_bytes += p.bitstream.byte_len();
+            partial_count += 1;
+        }
+    }
+
+    // Conventional side: all 36 complete bitstreams.
+    let t0 = Instant::now();
+    let conv = full_flow_all_combinations(FIG4_DEVICE, &regions, 7).expect("full flow");
+    let conv_wall = t0.elapsed();
+
+    header(&[
+        "approach",
+        "bitstreams",
+        "total bytes",
+        "CAD-flow time (sum)",
+        "bitgen/JPG time",
+    ]);
+    row(&[
+        "conventional (complete)".into(),
+        format!("{}", conv.bitstreams),
+        format!("{}", conv.total_bytes),
+        format!("{:?}", conv.total_flow_time),
+        "included".into(),
+    ]);
+    row(&[
+        "JPG (1 complete + partials)".into(),
+        format!("1 + {partial_count}"),
+        format!("{}", full_bytes + partial_bytes),
+        format!("{:?}", base_time + jpg_flow_time),
+        format!("{jpg_tool_time:?}"),
+    ]);
+    println!(
+        "paper claim: 36 vs 3+3+4=10 bitstreams, partials ≈ 1/3 of complete.\n\
+         measured   : {} vs 1+{} bitstreams; avg partial = {:.1}% of complete; \
+         storage {:.1}x smaller; tool time {:.1}x less. (wall for conventional: {conv_wall:?})",
+        conv.bitstreams,
+        partial_count,
+        100.0 * (partial_bytes as f64 / partial_count as f64) / full_bytes as f64,
+        conv.total_bytes as f64 / (full_bytes + partial_bytes) as f64,
+        conv.total_flow_time.as_secs_f64() / (base_time + jpg_flow_time).as_secs_f64(),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let base = fig4_base();
+    let regions = fig4_regions();
+    let project = JpgProject::open(base.bitstream.clone()).expect("open");
+    let variant =
+        implement_variant(&base, "region1/", &regions[0].variants[1], 5).expect("variant");
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("jpg_partial_for_one_module", |b| {
+        b.iter(|| {
+            project
+                .generate_partial(&variant.xdl, &variant.ucf)
+                .expect("partial")
+        })
+    });
+    g.bench_function("conventional_one_combination", |b| {
+        b.iter(|| {
+            let one_each: Vec<_> = regions
+                .iter()
+                .map(|r| baselines::fullflow::RegionSpec {
+                    prefix: r.prefix.clone(),
+                    region: r.region,
+                    variants: vec![r.variants[0].clone()],
+                })
+                .collect();
+            full_flow_all_combinations(FIG4_DEVICE, &one_each, 9).expect("flow")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! **E4 — §4.1**: partial-bitstream generation time (JPG) vs complete
+//! bitstream generation (bitgen), across device sizes.
+//!
+//! "A potential advantage … is that the physical-design time involved in
+//! creating partial bitstreams … is significantly less than that for the
+//! complete bitstream" — here we isolate the *bitstream generation* step.
+
+use bench::{header, row, single_region_base};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jpg::workflow::implement_variant;
+use jpg::JpgProject;
+use std::time::Instant;
+use virtex::Device;
+
+fn print_table() {
+    println!("\n== E4: bitstream generation time, JPG partial vs full bitgen ==");
+    header(&[
+        "device",
+        "full bitgen",
+        "JPG partial (8-col module)",
+        "speedup",
+        "partial/full bytes",
+    ]);
+    for d in [Device::XCV50, Device::XCV100, Device::XCV200] {
+        let base = single_region_base(d, (1, 8), 3);
+        let variant = implement_variant(
+            &base,
+            "mod1/",
+            &cadflow::gen::down_counter("down", 4),
+            7,
+        )
+        .expect("variant");
+        let project = JpgProject::open(base.bitstream.clone()).expect("open");
+
+        // Best-of-5 to keep the one-shot table stable; Criterion below
+        // does the statistically careful version.
+        let t_full = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(bitstream::full_bitstream(&base.memory));
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+        let full = bitstream::full_bitstream(&base.memory);
+        let t_partial = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(
+                    project
+                        .generate_partial(&variant.xdl, &variant.ucf)
+                        .expect("partial"),
+                );
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+        let partial = project
+            .generate_partial(&variant.xdl, &variant.ucf)
+            .expect("partial");
+
+        row(&[
+            d.to_string(),
+            format!("{t_full:?}"),
+            format!("{t_partial:?}"),
+            format!(
+                "{:.2}x",
+                t_full.as_secs_f64() / t_partial.as_secs_f64()
+            ),
+            format!(
+                "{:.1}%",
+                100.0 * partial.bitstream.byte_len() as f64 / full.byte_len() as f64
+            ),
+        ]);
+    }
+    println!("note: JPG time includes XDL parsing + JBits translation; bitgen is pure frame serialization.");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(20);
+    for d in [Device::XCV50, Device::XCV200] {
+        let base = single_region_base(d, (1, 8), 3);
+        let variant = implement_variant(
+            &base,
+            "mod1/",
+            &cadflow::gen::down_counter("down", 4),
+            7,
+        )
+        .expect("variant");
+        let project = JpgProject::open(base.bitstream.clone()).expect("open");
+        g.bench_with_input(
+            BenchmarkId::new("full_bitgen", d.name()),
+            &base.memory,
+            |b, mem| b.iter(|| bitstream::full_bitstream(mem)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("jpg_partial", d.name()),
+            &(project, variant),
+            |b, (project, variant)| {
+                b.iter(|| {
+                    project
+                        .generate_partial(&variant.xdl, &variant.ucf)
+                        .expect("partial")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! **E2 — §2.1**: "The overall run time for CAD tools to complete the
+//! mapping, placement and routing will be shorter as we are dealing with
+//! a smaller area of logic."
+//!
+//! Series: implementation time of one floorplanned module vs the whole
+//! multi-module design, as the design grows from 1 to 4 regions.
+
+use bench::{header, row};
+use cadflow::gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jpg::workflow::{build_base, implement_variant, ModuleSpec};
+use std::time::Instant;
+use virtex::Device;
+use xdl::Rect;
+
+const DEVICE: Device = Device::XCV200; // 28 x 42
+
+fn modules(n: usize) -> Vec<ModuleSpec> {
+    let rows = DEVICE.geometry().clb_rows as i32;
+    (0..n)
+        .map(|i| {
+            let c0 = 1 + (i as i32) * 10;
+            ModuleSpec {
+                prefix: format!("m{i}/"),
+                netlist: gen::accumulator(&format!("acc{i}"), 4),
+                region: Rect::new(0, c0, rows - 1, c0 + 7),
+            }
+        })
+        .collect()
+}
+
+fn print_table() {
+    println!("\n== E2: module-level vs design-level implementation time on {DEVICE} ==");
+    header(&[
+        "regions in design",
+        "whole-design P&R",
+        "one-module P&R",
+        "speedup",
+    ]);
+    for n in 1..=4usize {
+        let specs = modules(n);
+        let t0 = Instant::now();
+        let base = build_base("pnr", DEVICE, &specs, 3).expect("base");
+        let whole = t0.elapsed();
+        let t0 = Instant::now();
+        let _v = implement_variant(&base, "m0/", &gen::accumulator("alt", 4), 9).expect("variant");
+        let one = t0.elapsed();
+        row(&[
+            format!("{n}"),
+            format!("{whole:?}"),
+            format!("{one:?}"),
+            format!("{:.1}x", whole.as_secs_f64() / one.as_secs_f64()),
+        ]);
+    }
+    println!("paper claim: module P&R time significantly less than full-design P&R; gap widens with design size.");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let mut g = c.benchmark_group("pnr_time");
+    g.sample_size(10);
+    for n in [1usize, 2, 4] {
+        let specs = modules(n);
+        g.bench_with_input(BenchmarkId::new("whole_design", n), &specs, |b, specs| {
+            b.iter(|| build_base("pnr", DEVICE, specs, 3).expect("base"))
+        });
+    }
+    let base = build_base("pnr", DEVICE, &modules(4), 3).expect("base");
+    g.bench_function("one_module_guided", |b| {
+        b.iter(|| implement_variant(&base, "m0/", &gen::accumulator("alt", 4), 9).expect("variant"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

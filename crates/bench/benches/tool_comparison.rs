@@ -1,0 +1,128 @@
+//! **E5 — §2.3**: JPG vs PARBIT vs JBitsDiff on the same module swap.
+//!
+//! All three produce equivalent device state (verified in
+//! `tests/tool_equivalence.rs`); this bench compares their running costs
+//! and input requirements.
+
+use baselines::{diff_bitstreams, extract_partial, ParbitOptions};
+use bench::{header, row, single_region_base};
+use criterion::{criterion_group, criterion_main, Criterion};
+use jpg::workflow::implement_variant;
+use jpg::JpgProject;
+use std::time::Instant;
+use virtex::Device;
+
+const DEVICE: Device = Device::XCV100;
+
+struct Scenario {
+    base: jpg::workflow::BaseDesign,
+    variant: jpg::workflow::VariantResult,
+    variant_full: bitstream::Bitstream,
+    opts: ParbitOptions,
+}
+
+fn scenario() -> Scenario {
+    let base = single_region_base(DEVICE, (2, 9), 5);
+    let variant =
+        implement_variant(&base, "mod1/", &cadflow::gen::lfsr("lfsr", 4), 6).expect("variant");
+    let mut p = JpgProject::open(base.bitstream.clone()).expect("open");
+    let partial = p
+        .generate_partial(&variant.xdl, &variant.ucf)
+        .expect("partial");
+    p.write_onto_base(&partial).expect("merge");
+    let variant_full = p.base_bitstream().bitstream;
+    Scenario {
+        base,
+        variant,
+        variant_full,
+        opts: ParbitOptions {
+            start_col: 2,
+            end_col: 9,
+            include_iobs: false,
+        },
+    }
+}
+
+fn print_table(s: &Scenario) {
+    println!("\n== E5: tool comparison on {DEVICE}, 8-column module swap ==");
+    header(&["tool", "inputs", "tool time", "output bytes"]);
+
+    let project = JpgProject::open(s.base.bitstream.clone()).expect("open");
+    let t0 = Instant::now();
+    let jpg_out = project
+        .generate_partial(&s.variant.xdl, &s.variant.ucf)
+        .expect("partial");
+    let t_jpg = t0.elapsed();
+    row(&[
+        "JPG".into(),
+        format!(
+            "module .xdl ({}B) + .ucf ({}B)",
+            s.variant.xdl.len(),
+            s.variant.ucf.len()
+        ),
+        format!("{t_jpg:?}"),
+        format!("{}", jpg_out.bitstream.byte_len()),
+    ]);
+
+    let t0 = Instant::now();
+    let parbit_out = extract_partial(DEVICE, &s.variant_full, &s.opts).expect("extract");
+    let t_parbit = t0.elapsed();
+    row(&[
+        "PARBIT".into(),
+        format!(
+            "complete bitstream ({}B) + options file",
+            s.variant_full.byte_len()
+        ),
+        format!("{t_parbit:?}"),
+        format!("{}", parbit_out.byte_len()),
+    ]);
+
+    let t0 = Instant::now();
+    let core = diff_bitstreams(DEVICE, &s.base.bitstream.bitstream, &s.variant_full)
+        .expect("diff");
+    let t_diff = t0.elapsed();
+    row(&[
+        "JBitsDiff".into(),
+        format!(
+            "two complete bitstreams ({}B + {}B)",
+            s.base.bitstream.bitstream.byte_len(),
+            s.variant_full.byte_len()
+        ),
+        format!("{t_diff:?}"),
+        format!("core: {} frames", core.frame_count()),
+    ]);
+    println!(
+        "paper claim: JPG derives the region from the CAD flow's own files; PARBIT needs a \
+         separate options file (and a full-device implementation of the new design); JBitsDiff \
+         needs both complete bitstreams."
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let s = scenario();
+    print_table(&s);
+
+    let project = JpgProject::open(s.base.bitstream.clone()).expect("open");
+    let mut g = c.benchmark_group("tools");
+    g.sample_size(20);
+    g.bench_function("jpg", |b| {
+        b.iter(|| {
+            project
+                .generate_partial(&s.variant.xdl, &s.variant.ucf)
+                .expect("partial")
+        })
+    });
+    g.bench_function("parbit", |b| {
+        b.iter(|| extract_partial(DEVICE, &s.variant_full, &s.opts).expect("extract"))
+    });
+    g.bench_function("jbitsdiff", |b| {
+        b.iter(|| {
+            diff_bitstreams(DEVICE, &s.base.bitstream.bitstream, &s.variant_full)
+                .expect("diff")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

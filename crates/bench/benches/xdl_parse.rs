@@ -1,0 +1,92 @@
+//! **E7 — §3.2.2**: the JPG inner loop — "The JPG parser scans through
+//! the complete .xdl file and makes appropriate JBits calls".
+//!
+//! Throughput of XDL parsing and of the XDL→JBits translation as the
+//! module grows.
+
+use bench::{header, row};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jbits::Jbits;
+use jpg::workflow::{build_base, ModuleSpec};
+use std::time::Instant;
+use virtex::Device;
+use xdl::Rect;
+
+const DEVICE: Device = Device::XCV200;
+
+/// Build module XDL text of roughly `width`-bit accumulator size.
+fn module_xdl(width: usize) -> String {
+    let rows = DEVICE.geometry().clb_rows as i32;
+    let base = build_base(
+        "x",
+        DEVICE,
+        &[ModuleSpec {
+            prefix: "m/".into(),
+            netlist: cadflow::gen::accumulator("acc", width),
+            region: Rect::new(0, 1, rows - 1, 12),
+        }],
+        width as u64,
+    )
+    .expect("base");
+    xdl::print(&base.design)
+}
+
+fn print_table() {
+    println!("\n== E7: XDL parse + JBits translation throughput on {DEVICE} ==");
+    header(&[
+        "module",
+        "XDL bytes",
+        "instances",
+        "parse time",
+        "translate time",
+        "JBits calls",
+    ]);
+    for width in [2usize, 4, 8] {
+        let text = module_xdl(width);
+        let t0 = Instant::now();
+        let design = xdl::parse(&text).expect("parse");
+        let t_parse = t0.elapsed();
+        let mut jb = Jbits::new(DEVICE);
+        let t0 = Instant::now();
+        let stats = jpg::apply_design(&mut jb, &design).expect("translate");
+        let t_translate = t0.elapsed();
+        row(&[
+            format!("acc{width}"),
+            format!("{}", text.len()),
+            format!("{}", design.instances.len()),
+            format!("{t_parse:?}"),
+            format!("{t_translate:?}"),
+            format!("{}", stats.total()),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let mut g = c.benchmark_group("xdl");
+    for width in [2usize, 8] {
+        let text = module_xdl(width);
+        g.throughput(Throughput::Bytes(text.len() as u64));
+        g.bench_with_input(BenchmarkId::new("parse", width), &text, |b, text| {
+            b.iter(|| xdl::parse(text).expect("parse"))
+        });
+        let design = xdl::parse(&text).expect("parse");
+        g.bench_with_input(BenchmarkId::new("translate", width), &design, |b, design| {
+            b.iter_with_setup(
+                || Jbits::new(DEVICE),
+                |mut jb| {
+                    jpg::apply_design(&mut jb, design).expect("translate");
+                    jb
+                },
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("print", width), &design, |b, design| {
+            b.iter(|| xdl::print(design))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

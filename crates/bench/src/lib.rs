@@ -1,0 +1,90 @@
+//! Shared scenario builders and table helpers for the benchmark harness.
+//!
+//! Every bench in `benches/` reproduces one experiment from the paper
+//! (see DESIGN.md §4): it first *prints the table/series the paper
+//! reports* — who wins, by what factor — then lets Criterion measure the
+//! representative operations.
+
+use baselines::fullflow::RegionSpec;
+use cadflow::gen;
+use jpg::workflow::{build_base, BaseDesign, ModuleSpec};
+use virtex::Device;
+use xdl::Rect;
+
+/// The Figure-4 partitioning: three full-height regions with 3, 3 and 4
+/// interchangeable modules on an XCV100.
+pub fn fig4_regions() -> Vec<RegionSpec> {
+    vec![
+        RegionSpec {
+            prefix: "region1/".into(),
+            region: Rect::new(0, 1, 19, 8),
+            variants: vec![
+                gen::counter("up", 3),
+                gen::down_counter("down", 3),
+                gen::gray_counter("gray", 3),
+            ],
+        },
+        RegionSpec {
+            prefix: "region2/".into(),
+            region: Rect::new(0, 11, 19, 18),
+            variants: vec![
+                gen::parity("par8", 8),
+                gen::string_matcher("match", &[true, false, true]),
+                gen::lfsr("lfsr", 4),
+            ],
+        },
+        RegionSpec {
+            prefix: "region3/".into(),
+            region: Rect::new(0, 21, 19, 28),
+            variants: vec![
+                gen::counter("up4", 4),
+                gen::accumulator("acc", 3),
+                gen::lfsr("lfsr5", 5),
+                gen::gray_counter("gray4", 4),
+            ],
+        },
+    ]
+}
+
+/// Device used for the Figure-4 scenario.
+pub const FIG4_DEVICE: Device = Device::XCV100;
+
+/// Build the Figure-4 base design (first variant of every region).
+pub fn fig4_base() -> BaseDesign {
+    let regions = fig4_regions();
+    let modules: Vec<ModuleSpec> = regions
+        .iter()
+        .map(|r| ModuleSpec {
+            prefix: r.prefix.clone(),
+            netlist: r.variants[0].clone(),
+            region: r.region,
+        })
+        .collect();
+    build_base("fig4", FIG4_DEVICE, &modules, 11).expect("fig4 base design")
+}
+
+/// A single-region base design on `device`, counter module in
+/// `cols.0..=cols.1`.
+pub fn single_region_base(device: Device, cols: (i32, i32), seed: u64) -> BaseDesign {
+    let rows = device.geometry().clb_rows as i32;
+    let modules = vec![ModuleSpec {
+        prefix: "mod1/".into(),
+        netlist: gen::counter("up", 4),
+        region: Rect::new(0, cols.0, rows - 1, cols.1),
+    }];
+    build_base("single", device, &modules, seed).expect("base design")
+}
+
+/// Print a markdown-ish table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Print a table header with separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}

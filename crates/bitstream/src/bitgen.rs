@@ -1,0 +1,209 @@
+//! Bitstream generation: the complete-configuration path (what the vendor
+//! `bitgen` tool does) and the partial path (what JPG adds).
+//!
+//! Both paths speak the same packet protocol:
+//!
+//! * a full bitstream resets the CRC, programs `FLR`/`COR`/`IDCODE`, seeks
+//!   `FAR` to frame 0 and streams *every* frame through one giant type-2
+//!   `FDRI` write (plus one trailing pad frame for the frame pipeline);
+//! * a partial bitstream seeks `FAR` to the first frame of each dirty
+//!   range and streams just those frames, one `FDRI` write per contiguous
+//!   range.
+//!
+//! The trailing pad frame per `FDRI` run mirrors the silicon's one-frame
+//! write pipeline: the final frame of any run is never committed.
+
+use crate::regs::{Command, Register};
+use crate::writer::{Bitstream, BitstreamWriter};
+use serde::{Deserialize, Serialize};
+use virtex::{BlockType, ConfigGeometry, ConfigMemory};
+
+/// Default configuration-options word written to `COR`.
+pub const DEFAULT_COR: u32 = 0x0000_3FE5;
+
+/// A contiguous run of frames in linear frame-index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameRange {
+    /// First frame (linear index).
+    pub start: usize,
+    /// Number of frames.
+    pub len: usize,
+}
+
+impl FrameRange {
+    /// A range of `len` frames starting at `start`.
+    pub fn new(start: usize, len: usize) -> Self {
+        FrameRange { start, len }
+    }
+
+    /// The whole device.
+    pub fn whole_device(geom: &ConfigGeometry) -> Self {
+        FrameRange::new(0, geom.total_frames())
+    }
+
+    /// All frames of one configuration column.
+    pub fn for_column(geom: &ConfigGeometry, block: BlockType, major: u8) -> Option<Self> {
+        let col = geom.column(block, major)?;
+        Some(FrameRange::new(col.first_frame_index(), col.frame_count()))
+    }
+
+    /// Frame indices covered.
+    pub fn frames(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+
+    /// Whether the range is within the device.
+    pub fn valid_for(&self, geom: &ConfigGeometry) -> bool {
+        self.len > 0 && self.start + self.len <= geom.total_frames()
+    }
+}
+
+/// Merge overlapping/adjacent frame indices into maximal contiguous
+/// ranges. The input need not be sorted.
+pub fn coalesce_frames(mut frames: Vec<usize>) -> Vec<FrameRange> {
+    frames.sort_unstable();
+    frames.dedup();
+    let mut out: Vec<FrameRange> = Vec::new();
+    for f in frames {
+        match out.last_mut() {
+            Some(r) if r.start + r.len == f => r.len += 1,
+            _ => out.push(FrameRange::new(f, 1)),
+        }
+    }
+    out
+}
+
+fn frame_payload(mem: &ConfigMemory, range: FrameRange) -> Vec<u32> {
+    let fw = mem.frame_words();
+    let mut data = Vec::with_capacity((range.len + 1) * fw);
+    for f in range.frames() {
+        data.extend_from_slice(mem.frame(f));
+    }
+    data.extend(std::iter::repeat(0).take(fw)); // pipeline pad frame
+    data
+}
+
+fn far_word(geom: &ConfigGeometry, frame: usize) -> u32 {
+    geom.frame_address(frame)
+        .expect("frame index in range")
+        .to_word()
+}
+
+/// Generate a complete configuration bitstream for `mem` — the vendor
+/// `bitgen` equivalent.
+pub fn full_bitstream(mem: &ConfigMemory) -> Bitstream {
+    let geom = mem.geometry();
+    let mut w = BitstreamWriter::new();
+    w.sync()
+        .command(Command::Rcrc)
+        .reset_crc()
+        .write_reg(Register::Idcode, &[mem.device().idcode()])
+        .write_reg(Register::Flr, &[geom.frame_words() as u32])
+        .write_reg(Register::Cor, &[DEFAULT_COR])
+        .write_reg(Register::Mask, &[0xFFFF_FFFF])
+        .write_reg(Register::Ctl, &[0])
+        .write_reg(Register::Far, &[far_word(geom, 0)])
+        .command(Command::Wcfg);
+    let payload = frame_payload(mem, FrameRange::whole_device(geom));
+    w.write_reg_auto(Register::Fdri, &payload);
+    w.write_crc()
+        .command(Command::Lfrm)
+        .command(Command::Start)
+        .command(Command::Desynch);
+    w.finish()
+}
+
+/// Generate a partial bitstream writing only `ranges` of `mem`'s frames.
+///
+/// This is the output format of the JPG tool: a syncable packet stream
+/// that seeks to each dirty column and rewrites it, leaving the rest of
+/// the device untouched. `GHIGH` is asserted around the frame writes so
+/// in-flight logic is isolated during reconfiguration, matching the
+/// behaviour the paper relies on for dynamic updates.
+pub fn partial_bitstream(mem: &ConfigMemory, ranges: &[FrameRange]) -> Bitstream {
+    let geom = mem.geometry();
+    let mut w = BitstreamWriter::new();
+    w.sync()
+        .command(Command::Rcrc)
+        .reset_crc()
+        .write_reg(Register::Idcode, &[mem.device().idcode()])
+        .write_reg(Register::Flr, &[geom.frame_words() as u32]);
+    for range in ranges {
+        assert!(range.valid_for(geom), "frame range out of bounds");
+        w.write_reg(Register::Far, &[far_word(geom, range.start)])
+            .command(Command::Wcfg);
+        let payload = frame_payload(mem, *range);
+        w.write_reg_auto(Register::Fdri, &payload);
+    }
+    w.write_crc()
+        .command(Command::Lfrm)
+        .command(Command::Start)
+        .command(Command::Desynch);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::Device;
+
+    #[test]
+    fn full_bitstream_size_scales_with_device() {
+        let mut prev = 0;
+        for d in [Device::XCV50, Device::XCV300, Device::XCV1000] {
+            let mem = ConfigMemory::new(d);
+            let bs = full_bitstream(&mem);
+            // Payload dominates: total frames x frame words, plus headers.
+            let payload = mem.geometry().total_words();
+            assert!(bs.word_len() > payload);
+            assert!(bs.word_len() < payload + 100, "header overhead too big");
+            assert!(bs.word_len() > prev);
+            prev = bs.word_len();
+        }
+    }
+
+    #[test]
+    fn partial_is_fraction_of_full_for_one_column() {
+        let mem = ConfigMemory::new(Device::XCV100);
+        let geom = mem.geometry();
+        let major = geom.major_for_clb_col(10).unwrap();
+        let range = FrameRange::for_column(geom, BlockType::Clb, major).unwrap();
+        let partial = partial_bitstream(&mem, &[range]);
+        let full = full_bitstream(&mem);
+        let ratio = partial.byte_len() as f64 / full.byte_len() as f64;
+        // One CLB column of 30 is a few percent of the device.
+        assert!(ratio < 0.1, "one-column partial is {ratio:.3} of full");
+        assert!(ratio > 0.005);
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_and_dedups() {
+        let ranges = coalesce_frames(vec![5, 3, 4, 4, 9, 10, 12]);
+        assert_eq!(
+            ranges,
+            vec![
+                FrameRange::new(3, 3),
+                FrameRange::new(9, 2),
+                FrameRange::new(12, 1)
+            ]
+        );
+        assert!(coalesce_frames(vec![]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn partial_rejects_out_of_range() {
+        let mem = ConfigMemory::new(Device::XCV50);
+        let total = mem.geometry().total_frames();
+        let _ = partial_bitstream(&mem, &[FrameRange::new(total - 1, 2)]);
+    }
+
+    #[test]
+    fn whole_device_range_covers_all_frames() {
+        let mem = ConfigMemory::new(Device::XCV50);
+        let geom = mem.geometry();
+        let r = FrameRange::whole_device(geom);
+        assert_eq!(r.frames().len(), geom.total_frames());
+        assert!(r.valid_for(geom));
+    }
+}

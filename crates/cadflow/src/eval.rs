@@ -1,0 +1,216 @@
+//! Golden simulator for the logical netlist: the reference model every
+//! downstream stage (mapping, packing, placement, routing, bitstream,
+//! partial reconfiguration) is checked against.
+
+use crate::netlist::{Driver, GateKind, Netlist, SignalId};
+use std::collections::HashMap;
+
+/// Cycle-accurate two-phase simulator: combinational settle + clock edge.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    values: Vec<bool>,
+    order: Vec<SignalId>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Build a simulator; flip-flops take their `init` values.
+    pub fn new(nl: &'a Netlist) -> Self {
+        let mut sim = Simulator {
+            nl,
+            values: vec![false; nl.signal_count()],
+            order: nl.topo_order(),
+        };
+        for dff in &nl.dffs {
+            sim.values[dff.q.0 as usize] = dff.init;
+        }
+        sim.settle();
+        sim
+    }
+
+    /// Set a primary input.
+    pub fn set_input(&mut self, name: &str, value: bool) {
+        let sig = self
+            .nl
+            .input(name)
+            .unwrap_or_else(|| panic!("no input named {name:?}"));
+        self.values[sig.0 as usize] = value;
+    }
+
+    /// Set a whole input bus (`name[i]` ports), LSB first.
+    pub fn set_input_bus(&mut self, name: &str, value: u64) {
+        let mut i = 0;
+        while let Some(sig) = self.nl.input(&format!("{name}[{i}]")) {
+            self.values[sig.0 as usize] = (value >> i) & 1 == 1;
+            i += 1;
+        }
+        assert!(i > 0, "no input bus named {name:?}");
+    }
+
+    /// Read an output port (after [`Self::settle`]).
+    pub fn output(&self, name: &str) -> bool {
+        let sig = self
+            .nl
+            .output(name)
+            .unwrap_or_else(|| panic!("no output named {name:?}"));
+        self.values[sig.0 as usize]
+    }
+
+    /// Read a whole output bus as an integer, LSB first.
+    pub fn output_bus(&self, name: &str) -> u64 {
+        let mut v = 0u64;
+        let mut i = 0;
+        while let Some(sig) = self.nl.output(&format!("{name}[{i}]")) {
+            if self.values[sig.0 as usize] {
+                v |= 1 << i;
+            }
+            i += 1;
+        }
+        assert!(i > 0, "no output bus named {name:?}");
+        v
+    }
+
+    /// All outputs as a name → value map (for equivalence checks).
+    pub fn outputs(&self) -> HashMap<String, bool> {
+        self.nl
+            .outputs
+            .iter()
+            .map(|(n, s)| (n.clone(), self.values[s.0 as usize]))
+            .collect()
+    }
+
+    /// Propagate combinational logic to a fixed point (single pass in
+    /// topological order).
+    pub fn settle(&mut self) {
+        for &sig in &self.order {
+            if let Driver::Gate(g) = self.nl.drivers[sig.0 as usize] {
+                let gate = self.nl.gates[g as usize];
+                let a = self.values[gate.a.0 as usize];
+                let b = self.values[gate.b.0 as usize];
+                let sel = self.values[gate.sel.0 as usize];
+                self.values[sig.0 as usize] = match gate.kind {
+                    GateKind::And => a & b,
+                    GateKind::Or => a | b,
+                    GateKind::Xor => a ^ b,
+                    GateKind::Not => !a,
+                    GateKind::Buf => a,
+                    GateKind::Mux => {
+                        if sel {
+                            b
+                        } else {
+                            a
+                        }
+                    }
+                };
+            } else if let Driver::Const(c) = self.nl.drivers[sig.0 as usize] {
+                self.values[sig.0 as usize] = c;
+            }
+        }
+    }
+
+    /// One rising clock edge: sample every FF's D, then settle.
+    pub fn clock(&mut self) {
+        self.settle();
+        let sampled: Vec<bool> = self
+            .nl
+            .dffs
+            .iter()
+            .map(|dff| self.values[dff.d.0 as usize])
+            .collect();
+        for (dff, v) in self.nl.dffs.iter().zip(sampled) {
+            self.values[dff.q.0 as usize] = v;
+        }
+        self.settle();
+    }
+
+    /// Run `n` clock cycles.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.clock();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::netlist::NetlistBuilder;
+
+    #[test]
+    fn combinational_gates() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let s = b.input("s");
+        let and = b.and(a, c);
+        let or = b.or(a, c);
+        let xor = b.xor(a, c);
+        let not = b.not(a);
+        let mux = b.mux(s, a, c);
+        b.output("and", and);
+        b.output("or", or);
+        b.output("xor", xor);
+        b.output("not", not);
+        b.output("mux", mux);
+        let nl = b.build();
+        let mut sim = Simulator::new(&nl);
+        for bits in 0..8u32 {
+            sim.set_input("a", bits & 1 == 1);
+            sim.set_input("b", bits & 2 == 2);
+            sim.set_input("s", bits & 4 == 4);
+            sim.settle();
+            let (a, c, s) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            assert_eq!(sim.output("and"), a & c);
+            assert_eq!(sim.output("or"), a | c);
+            assert_eq!(sim.output("xor"), a ^ c);
+            assert_eq!(sim.output("not"), !a);
+            assert_eq!(sim.output("mux"), if s { c } else { a });
+        }
+    }
+
+    #[test]
+    fn counter_counts() {
+        let nl = gen::counter("cnt", 4);
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("en", true);
+        for i in 0..20u64 {
+            assert_eq!(sim.output_bus("q"), i % 16, "cycle {i}");
+            sim.clock();
+        }
+        // Disable: holds value.
+        sim.set_input("en", false);
+        let held = sim.output_bus("q");
+        sim.run(5);
+        assert_eq!(sim.output_bus("q"), held);
+    }
+
+    #[test]
+    fn adder_is_correct() {
+        let nl = gen::adder("add", 4);
+        let mut sim = Simulator::new(&nl);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.set_input_bus("a", a);
+                sim.set_input_bus("b", b);
+                sim.settle();
+                let sum = sim.output_bus("s") | (sim.output("cout") as u64) << 4;
+                assert_eq!(sum, a + b, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ff_init_values_respected() {
+        let mut b = NetlistBuilder::new("t");
+        let zero = b.constant(false);
+        let q1 = b.dff_init(zero, true);
+        let q0 = b.dff_init(zero, false);
+        b.output("q1", q1);
+        b.output("q0", q0);
+        let nl = b.build();
+        let sim = Simulator::new(&nl);
+        assert!(sim.output("q1"));
+        assert!(!sim.output("q0"));
+    }
+}

@@ -1,0 +1,289 @@
+//! The flow driver: the "Foundation tools" box of the paper's Figure 2.
+//!
+//! `implement` runs map → pack → place → route on one netlist and reports
+//! per-stage wall-clock times — the numbers behind the paper's claim that
+//! implementing a floorplanned *module* is much faster than re-implementing
+//! the whole design.
+
+use crate::map::{map_netlist, verify_mapping};
+use crate::netlist::Netlist;
+use crate::pack::pack_with_prefix;
+use crate::place::{place, PlaceError, PlaceOptions, PlaceReport};
+use crate::route::{route, RouteError, RouteOptions, RouteReport};
+use std::fmt;
+use std::time::{Duration, Instant};
+use virtex::Device;
+use xdl::{Constraints, Design};
+
+/// Flow options.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Placement options.
+    pub place: PlaceOptions,
+    /// Routing options.
+    pub route: RouteOptions,
+    /// Verify the mapping against the golden simulator (cheap insurance,
+    /// on by default in tests, off in benches).
+    pub verify_mapping: bool,
+    /// Run logic optimization (constant folding, CSE, dead-code
+    /// elimination) before mapping. On by default, as in any real flow.
+    pub optimize: bool,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            place: PlaceOptions::default(),
+            route: RouteOptions::default(),
+            verify_mapping: false,
+            optimize: true,
+        }
+    }
+}
+
+/// Per-stage flow report.
+#[derive(Debug, Clone, Default)]
+pub struct FlowReport {
+    /// LUT cells after mapping.
+    pub luts: usize,
+    /// Slice instances after packing.
+    pub slices: usize,
+    /// Nets in the design.
+    pub nets: usize,
+    /// Mapping + packing time.
+    pub map_time: Duration,
+    /// Placement time.
+    pub place_time: Duration,
+    /// Routing time.
+    pub route_time: Duration,
+    /// Placement statistics.
+    pub place: PlaceReport,
+    /// Routing statistics.
+    pub route: RouteReport,
+    /// Static-timing summary of the routed design.
+    pub timing: Option<crate::timing::TimingReport>,
+    /// Logic-optimization statistics (when the pass ran).
+    pub opt: Option<crate::opt::OptStats>,
+}
+
+impl FlowReport {
+    /// Total implementation time.
+    pub fn total_time(&self) -> Duration {
+        self.map_time + self.place_time + self.route_time
+    }
+}
+
+/// Flow failure.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Placement failed.
+    Place(PlaceError),
+    /// Routing failed.
+    Route(RouteError),
+    /// Mapped netlist diverged from the golden model.
+    MappingMismatch {
+        /// First diverging output.
+        output: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Place(e) => write!(f, "placement failed: {e}"),
+            FlowError::Route(e) => write!(f, "routing failed: {e}"),
+            FlowError::MappingMismatch { output } => {
+                write!(f, "mapping diverges on output {output:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<PlaceError> for FlowError {
+    fn from(e: PlaceError) -> Self {
+        FlowError::Place(e)
+    }
+}
+
+impl From<RouteError> for FlowError {
+    fn from(e: RouteError) -> Self {
+        FlowError::Route(e)
+    }
+}
+
+/// Implement `netlist` on `device` under `constraints`.
+///
+/// * `prefix` — hierarchical name prefix for all primitives (the module
+///   path, e.g. `"mod1/"`).
+/// * `guide` — previously implemented design to seed placement from (the
+///   paper's guided Phase-2 flow); `None` for from-scratch.
+pub fn implement(
+    netlist: &Netlist,
+    device: Device,
+    constraints: &Constraints,
+    prefix: &str,
+    guide: Option<&Design>,
+    opts: &FlowOptions,
+) -> Result<(Design, FlowReport), FlowError> {
+    let mut report = FlowReport::default();
+
+    let t0 = Instant::now();
+    let optimized;
+    let netlist = if opts.optimize {
+        let (o, stats) = crate::opt::optimize(netlist);
+        report.opt = Some(stats);
+        optimized = o;
+        &optimized
+    } else {
+        netlist
+    };
+    let mapped = map_netlist(netlist);
+    if opts.verify_mapping {
+        if let Some(output) = verify_mapping(netlist, &mapped, 32, opts.place.seed ^ 0xABCD) {
+            return Err(FlowError::MappingMismatch { output });
+        }
+    }
+    let mut design = pack_with_prefix(&mapped, device, prefix);
+    report.map_time = t0.elapsed();
+    report.luts = mapped.lut_count();
+    report.slices = design
+        .instances
+        .iter()
+        .filter(|i| i.kind == xdl::InstanceKind::Slice)
+        .count();
+    report.nets = design.nets.len();
+
+    let t1 = Instant::now();
+    report.place = place(&mut design, constraints, guide, &opts.place)?;
+    report.place_time = t1.elapsed();
+
+    let t2 = Instant::now();
+    report.route = route(&mut design, &opts.route)?;
+    report.route_time = t2.elapsed();
+
+    report.timing = Some(crate::timing::analyze(&design));
+
+    Ok((design, report))
+}
+
+/// Merge a set of module designs into one flat design (the paper's base
+/// design is several floorplanned modules in one device). Instance and
+/// net names must already be disjoint (use distinct prefixes).
+pub fn merge_designs(name: &str, device: Device, modules: &[&Design]) -> Design {
+    let mut out = Design::new(name, device);
+    for m in modules {
+        assert_eq!(m.device, device, "device mismatch in merge");
+        for inst in &m.instances {
+            assert!(
+                out.instance(&inst.name).is_none(),
+                "duplicate instance {} in merge",
+                inst.name
+            );
+            out.instances.push(inst.clone());
+        }
+        for net in &m.nets {
+            assert!(
+                out.net(&net.name).is_none(),
+                "duplicate net {} in merge",
+                net.name
+            );
+            out.nets.push(net.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::route::verify_routing;
+
+    #[test]
+    fn end_to_end_flow_produces_legal_design() {
+        let nl = gen::counter("cnt", 4);
+        let cons = Constraints::default();
+        let opts = FlowOptions {
+            verify_mapping: true,
+            ..FlowOptions::default()
+        };
+        let (design, report) =
+            implement(&nl, Device::XCV50, &cons, "m/", None, &opts).unwrap();
+        assert!(design.fully_placed());
+        assert!(design.fully_routed());
+        verify_routing(&design).unwrap();
+        assert!(report.luts > 0);
+        assert!(report.route.pips > 0);
+    }
+
+    #[test]
+    fn constrained_module_flow() {
+        let ucf = r#"
+INST "mod1/*" AREA_GROUP = "AG_mod1" ;
+AREA_GROUP "AG_mod1" RANGE = CLB_R1C1:CLB_R10C8 ;
+"#;
+        let nl = gen::lfsr("l", 6);
+        let cons = Constraints::parse(ucf).unwrap();
+        let (design, _) = implement(
+            &nl,
+            Device::XCV50,
+            &cons,
+            "mod1/",
+            None,
+            &FlowOptions::default(),
+        )
+        .unwrap();
+        let region = xdl::Rect::new(0, 0, 9, 7);
+        for (_, s) in design.occupied_slices() {
+            assert!(region.contains(s.tile));
+        }
+        verify_routing(&design).unwrap();
+    }
+
+    #[test]
+    fn merge_combines_disjoint_modules() {
+        let cons = Constraints::default();
+        let (a, _) = implement(
+            &gen::counter("c", 2),
+            Device::XCV50,
+            &cons,
+            "a/",
+            None,
+            &FlowOptions::default(),
+        )
+        .unwrap();
+        let (b, _) = implement(
+            &gen::parity("p", 4),
+            Device::XCV50,
+            &cons,
+            "b/",
+            None,
+            &FlowOptions::default(),
+        )
+        .unwrap();
+        let merged = merge_designs("top", Device::XCV50, &[&a, &b]);
+        assert_eq!(
+            merged.instances.len(),
+            a.instances.len() + b.instances.len()
+        );
+        assert_eq!(merged.nets.len(), a.nets.len() + b.nets.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate instance")]
+    fn merge_rejects_name_collisions() {
+        let cons = Constraints::default();
+        let (a, _) = implement(
+            &gen::counter("c", 2),
+            Device::XCV50,
+            &cons,
+            "a/",
+            None,
+            &FlowOptions::default(),
+        )
+        .unwrap();
+        let _ = merge_designs("top", Device::XCV50, &[&a, &a]);
+    }
+}

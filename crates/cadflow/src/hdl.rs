@@ -1,0 +1,1050 @@
+//! A small synthesizable HDL — the "VHDL/Verilog" entry point of the
+//! paper's Figure-2 flow, sized to this reproduction.
+//!
+//! ```text
+//! // 4-bit enabled counter
+//! module counter;
+//!   input en;
+//!   output [3:0] q;
+//!   reg [3:0] q = 0;
+//!   next q = en ? q + 1 : q;     // synchronous update (global clock)
+//! endmodule
+//! ```
+//!
+//! * **Declarations** — `input`, `output`, `wire`, `reg`, each with an
+//!   optional `[msb:0]` width (default 1 bit); `reg` takes an optional
+//!   `= <const>` power-on value. A name may be both `output` and `reg`.
+//! * **Statements** — `assign <name> = <expr>;` drives a wire or output;
+//!   `next <name> = <expr>;` gives a register its next-state function.
+//! * **Expressions** — identifiers, literals (`42`, `0xFF`, `0b1010`),
+//!   bit-select `a[3]` and slice `a[7:4]`, unary `~`, reductions `&a`
+//!   `|a` `^a`, binary `& | ^ + -`, comparisons `== !=`, shifts by a
+//!   constant `<< >>`, ternary `c ? x : y`, parentheses. Operands are
+//!   zero-extended to the widest operand; comparisons and reductions are
+//!   1 bit.
+//!
+//! [`synthesize`] elaborates a module into the gate-level [`Netlist`]
+//! the rest of the flow consumes — so text goes in, bitstreams come out.
+
+use crate::netlist::{GateKind, Netlist, NetlistBuilder, SignalId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Synthesis failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HdlError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HDL error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for HdlError {}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(u64),
+    Punct(&'static str),
+}
+
+const PUNCTS: [&str; 25] = [
+    "<<", ">>", "==", "!=", "<=", ">=", "<", ">", "[", "]", "(", ")", ":", ";", "=", "?", "~",
+    "&", "|", "^", "+", "-", ",", "{", "}",
+];
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, HdlError> {
+    let mut out = Vec::new();
+    for (ln0, raw) in src.lines().enumerate() {
+        let line = ln0 + 1;
+        let code = raw.split("//").next().unwrap_or("");
+        let mut rest = code;
+        'outer: while !rest.is_empty() {
+            let c = rest.chars().next().unwrap();
+            if c.is_whitespace() {
+                rest = &rest[c.len_utf8()..];
+                continue;
+            }
+            for p in PUNCTS {
+                if let Some(r) = rest.strip_prefix(p) {
+                    out.push((line, Tok::Punct(p)));
+                    rest = r;
+                    continue 'outer;
+                }
+            }
+            if c.is_ascii_digit() {
+                let end = rest
+                    .find(|ch: char| !ch.is_ascii_alphanumeric())
+                    .unwrap_or(rest.len());
+                let text = &rest[..end];
+                let value = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X"))
+                {
+                    u64::from_str_radix(hex, 16)
+                } else if let Some(bin) = text.strip_prefix("0b").or(text.strip_prefix("0B")) {
+                    u64::from_str_radix(bin, 2)
+                } else {
+                    text.parse()
+                }
+                .map_err(|_| HdlError {
+                    line,
+                    message: format!("bad number {text:?}"),
+                })?;
+                out.push((line, Tok::Number(value)));
+                rest = &rest[end..];
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let end = rest
+                    .find(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_'))
+                    .unwrap_or(rest.len());
+                out.push((line, Tok::Ident(rest[..end].to_string())));
+                rest = &rest[end..];
+            } else {
+                return Err(HdlError {
+                    line,
+                    message: format!("unexpected character {c:?}"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Ident(String),
+    Const(u64),
+    Index(Box<Expr>, usize),
+    Slice(Box<Expr>, usize, usize), // (expr, msb, lsb)
+    Unary(&'static str, Box<Expr>),
+    Binary(&'static str, Box<Expr>, Box<Expr>),
+    Shift(&'static str, Box<Expr>, usize),
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    Concat(Vec<Expr>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeclKind {
+    Input,
+    Output,
+    Wire,
+    Reg,
+}
+
+#[derive(Debug)]
+struct Decl {
+    kind: DeclKind,
+    name: String,
+    width: usize,
+    init: u64,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct Stmt {
+    is_next: bool,
+    target: String,
+    expr: Expr,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct Module {
+    name: String,
+    decls: Vec<Decl>,
+    stmts: Vec<Stmt>,
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(l, _)| *l)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> HdlError {
+        HdlError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, p: &'static str) -> bool {
+        if self.peek() == Some(&Tok::Punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, p: &'static str) -> Result<(), HdlError> {
+        if self.eat(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {p:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, HdlError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, HdlError> {
+        match self.bump() {
+            Some(Tok::Number(n)) => Ok(n),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, HdlError> {
+        let kw = self.ident()?;
+        if kw != "module" {
+            return Err(self.err("expected 'module'"));
+        }
+        let name = self.ident()?;
+        self.expect(";")?;
+        let mut decls = Vec::new();
+        let mut stmts = Vec::new();
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Some(Tok::Ident(w)) => match w.as_str() {
+                    "endmodule" => {
+                        self.bump();
+                        break;
+                    }
+                    "input" | "output" | "wire" | "reg" => {
+                        let kind = match w.as_str() {
+                            "input" => DeclKind::Input,
+                            "output" => DeclKind::Output,
+                            "wire" => DeclKind::Wire,
+                            _ => DeclKind::Reg,
+                        };
+                        self.bump();
+                        let width = if self.eat("[") {
+                            let msb = self.number()? as usize;
+                            self.expect(":")?;
+                            let lsb = self.number()? as usize;
+                            self.expect("]")?;
+                            if lsb != 0 {
+                                return Err(self.err("bus LSB must be 0"));
+                            }
+                            msb + 1
+                        } else {
+                            1
+                        };
+                        let name = self.ident()?;
+                        let init = if self.eat("=") { self.number()? } else { 0 };
+                        self.expect(";")?;
+                        decls.push(Decl {
+                            kind,
+                            name,
+                            width,
+                            init,
+                            line,
+                        });
+                    }
+                    "assign" | "next" => {
+                        let is_next = w == "next";
+                        self.bump();
+                        let target = self.ident()?;
+                        self.expect("=")?;
+                        let expr = self.expr()?;
+                        self.expect(";")?;
+                        stmts.push(Stmt {
+                            is_next,
+                            target,
+                            expr,
+                            line,
+                        });
+                    }
+                    other => return Err(self.err(format!("unexpected keyword {other:?}"))),
+                },
+                other => return Err(self.err(format!("unexpected token {other:?}"))),
+            }
+        }
+        Ok(Module { name, decls, stmts })
+    }
+
+    // Precedence (low to high): ?: , | , ^ , & , ==/!= , <</>> , +/- ,
+    // unary, postfix index/slice.
+    fn expr(&mut self) -> Result<Expr, HdlError> {
+        let cond = self.or_expr()?;
+        if self.eat("?") {
+            let a = self.expr()?;
+            self.expect(":")?;
+            let b = self.expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut e = self.xor_expr()?;
+        while self.eat("|") {
+            e = Expr::Binary("|", Box::new(e), Box::new(self.xor_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn xor_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut e = self.and_expr()?;
+        while self.eat("^") {
+            e = Expr::Binary("^", Box::new(e), Box::new(self.and_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut e = self.eq_expr()?;
+        while self.eat("&") {
+            e = Expr::Binary("&", Box::new(e), Box::new(self.eq_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut e = self.shift_expr()?;
+        loop {
+            let op = ["==", "!=", "<=", ">=", "<", ">"]
+                .into_iter()
+                .find(|p| self.eat(p));
+            match op {
+                Some(op) => {
+                    e = Expr::Binary(op, Box::new(e), Box::new(self.shift_expr()?));
+                }
+                None => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut e = self.add_expr()?;
+        loop {
+            if self.eat("<<") {
+                e = Expr::Shift("<<", Box::new(e), self.number()? as usize);
+            } else if self.eat(">>") {
+                e = Expr::Shift(">>", Box::new(e), self.number()? as usize);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            if self.eat("+") {
+                e = Expr::Binary("+", Box::new(e), Box::new(self.unary_expr()?));
+            } else if self.eat("-") {
+                e = Expr::Binary("-", Box::new(e), Box::new(self.unary_expr()?));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, HdlError> {
+        for op in ["~", "&", "|", "^"] {
+            if self.peek() == Some(&Tok::Punct(op)) {
+                // `&`/`|`/`^` as prefix = reduction.
+                self.bump();
+                let inner = self.unary_expr()?;
+                let sop: &'static str = match op {
+                    "~" => "~",
+                    "&" => "r&",
+                    "|" => "r|",
+                    _ => "r^",
+                };
+                return Ok(Expr::Unary(sop, Box::new(inner)));
+            }
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, HdlError> {
+        let mut e = self.atom()?;
+        while self.eat("[") {
+            let hi = self.number()? as usize;
+            if self.eat(":") {
+                let lo = self.number()? as usize;
+                self.expect("]")?;
+                if lo > hi {
+                    return Err(self.err("slice MSB below LSB"));
+                }
+                e = Expr::Slice(Box::new(e), hi, lo);
+            } else {
+                self.expect("]")?;
+                e = Expr::Index(Box::new(e), hi);
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, HdlError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(Expr::Ident(s)),
+            Some(Tok::Number(n)) => Ok(Expr::Const(n)),
+            Some(Tok::Punct("(")) => {
+                let e = self.expr()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            Some(Tok::Punct("{")) => {
+                // Concatenation: {msb_part, ..., lsb_part}.
+                let mut parts = vec![self.expr()?];
+                while self.eat(",") {
+                    parts.push(self.expr()?);
+                }
+                self.expect("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Elaboration
+// ---------------------------------------------------------------------
+
+struct Elaborator<'a> {
+    b: NetlistBuilder,
+    module: &'a Module,
+    /// Resolved bit-vectors, LSB first.
+    values: HashMap<String, Vec<SignalId>>,
+    /// Names currently being resolved (combinational-cycle detection).
+    resolving: Vec<String>,
+}
+
+impl<'a> Elaborator<'a> {
+    fn err(&self, line: usize, message: impl Into<String>) -> HdlError {
+        HdlError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn decl(&self, name: &str) -> Option<&Decl> {
+        // `output reg q` may appear as two decls; prefer the reg (it
+        // defines storage).
+        self.module
+            .decls
+            .iter()
+            .find(|d| d.name == name && d.kind == DeclKind::Reg)
+            .or_else(|| self.module.decls.iter().find(|d| d.name == name))
+    }
+
+    fn stmt_for(&self, name: &str, is_next: bool) -> Option<&'a Stmt> {
+        self.module
+            .stmts
+            .iter()
+            .find(|s| s.target == name && s.is_next == is_next)
+    }
+
+    /// Bits of a named signal, elaborating on demand.
+    fn bits_of(&mut self, name: &str, line: usize) -> Result<Vec<SignalId>, HdlError> {
+        if let Some(v) = self.values.get(name) {
+            return Ok(v.clone());
+        }
+        let decl_kind = self
+            .decl(name)
+            .map(|d| d.kind)
+            .ok_or_else(|| self.err(line, format!("undeclared name {name:?}")))?;
+        match decl_kind {
+            DeclKind::Input | DeclKind::Reg => {
+                unreachable!("inputs and regs are pre-seeded")
+            }
+            DeclKind::Wire | DeclKind::Output => {
+                if self.resolving.iter().any(|n| n == name) {
+                    return Err(self.err(
+                        line,
+                        format!("combinational cycle through {name:?}"),
+                    ));
+                }
+                let stmt = self.stmt_for(name, false).ok_or_else(|| {
+                    self.err(line, format!("{name:?} has no assign driving it"))
+                })?;
+                self.resolving.push(name.to_string());
+                let width = self.decl(name).unwrap().width;
+                let mut bits = self.eval(&stmt.expr, stmt.line)?;
+                resize(&mut bits, width, &mut self.b);
+                self.resolving.pop();
+                self.values.insert(name.to_string(), bits.clone());
+                Ok(bits)
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, line: usize) -> Result<Vec<SignalId>, HdlError> {
+        match e {
+            Expr::Ident(name) => self.bits_of(name, line),
+            Expr::Const(v) => {
+                let width = (64 - v.leading_zeros()).max(1) as usize;
+                Ok((0..width)
+                    .map(|i| self.b.constant((v >> i) & 1 == 1))
+                    .collect())
+            }
+            Expr::Index(inner, i) => {
+                let bits = self.eval(inner, line)?;
+                bits.get(*i)
+                    .map(|s| vec![*s])
+                    .ok_or_else(|| self.err(line, format!("bit index {i} out of range")))
+            }
+            Expr::Slice(inner, hi, lo) => {
+                let bits = self.eval(inner, line)?;
+                if *hi >= bits.len() {
+                    return Err(self.err(line, format!("slice [{hi}:{lo}] out of range")));
+                }
+                Ok(bits[*lo..=*hi].to_vec())
+            }
+            Expr::Unary(op, inner) => {
+                let bits = self.eval(inner, line)?;
+                match *op {
+                    "~" => Ok(bits.iter().map(|s| self.b.not(*s)).collect()),
+                    "r&" => Ok(vec![self.b.reduce(GateKind::And, &bits)]),
+                    "r|" => Ok(vec![self.b.reduce(GateKind::Or, &bits)]),
+                    "r^" => Ok(vec![self.b.reduce(GateKind::Xor, &bits)]),
+                    _ => unreachable!(),
+                }
+            }
+            Expr::Shift(op, inner, n) => {
+                let bits = self.eval(inner, line)?;
+                let w = bits.len();
+                let zero = self.b.constant(false);
+                let mut out = vec![zero; w];
+                for i in 0..w {
+                    let src = match *op {
+                        "<<" => i.checked_sub(*n),
+                        _ => i.checked_add(*n).filter(|j| *j < w),
+                    };
+                    if let Some(j) = src {
+                        out[i] = bits[j];
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Binary(op, a, b) => {
+                let mut va = self.eval(a, line)?;
+                let mut vb = self.eval(b, line)?;
+                let w = va.len().max(vb.len());
+                resize(&mut va, w, &mut self.b);
+                resize(&mut vb, w, &mut self.b);
+                match *op {
+                    "&" => Ok(zip_map(&va, &vb, |b_, x, y| b_.and(x, y), &mut self.b)),
+                    "|" => Ok(zip_map(&va, &vb, |b_, x, y| b_.or(x, y), &mut self.b)),
+                    "^" => Ok(zip_map(&va, &vb, |b_, x, y| b_.xor(x, y), &mut self.b)),
+                    "+" => {
+                        let (sum, _) = self.b.adder(&va, &vb);
+                        Ok(sum)
+                    }
+                    "-" => {
+                        // a - b = a + ~b + 1.
+                        let nb: Vec<SignalId> = vb.iter().map(|s| self.b.not(*s)).collect();
+                        let (sum, _) = self.b.adder_with_carry(&va, &nb, true);
+                        Ok(sum)
+                    }
+                    "==" => {
+                        let diff = zip_map(&va, &vb, |b_, x, y| b_.xor(x, y), &mut self.b);
+                        let any = self.b.reduce(GateKind::Or, &diff);
+                        Ok(vec![self.b.not(any)])
+                    }
+                    "<" | ">" | "<=" | ">=" => {
+                        // Unsigned compare via subtraction: carry-out of
+                        // a + ~b + 1 is (a >= b).
+                        let (x, y) = if *op == "<" || *op == ">=" {
+                            (&va, &vb)
+                        } else {
+                            (&vb, &va) // a>b == b<a ; a<=b == b>=a
+                        };
+                        let ny: Vec<SignalId> = y.iter().map(|s| self.b.not(*s)).collect();
+                        let (_, carry) = self.b.adder_with_carry(x, &ny, true);
+                        let ge = carry; // x >= y
+                        Ok(vec![match *op {
+                            "<" | ">" => self.b.not(ge),
+                            _ => self.b.buf(ge),
+                        }])
+                    }
+                    "!=" => {
+                        let diff = zip_map(&va, &vb, |b_, x, y| b_.xor(x, y), &mut self.b);
+                        Ok(vec![self.b.reduce(GateKind::Or, &diff)])
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Expr::Concat(parts) => {
+                // Last part is least significant.
+                let mut bits = Vec::new();
+                for part in parts.iter().rev() {
+                    bits.extend(self.eval(part, line)?);
+                }
+                Ok(bits)
+            }
+            Expr::Ternary(c, a, b) => {
+                let vc = self.eval(c, line)?;
+                let cond = if vc.len() == 1 {
+                    vc[0]
+                } else {
+                    self.b.reduce(GateKind::Or, &vc)
+                };
+                let mut va = self.eval(a, line)?;
+                let mut vb = self.eval(b, line)?;
+                let w = va.len().max(vb.len());
+                resize(&mut va, w, &mut self.b);
+                resize(&mut vb, w, &mut self.b);
+                Ok(va
+                    .iter()
+                    .zip(&vb)
+                    .map(|(x, y)| self.b.mux(cond, *y, *x)) // cond ? x : y
+                    .collect())
+            }
+        }
+    }
+}
+
+fn resize(bits: &mut Vec<SignalId>, width: usize, b: &mut NetlistBuilder) {
+    while bits.len() < width {
+        bits.push(b.constant(false));
+    }
+    bits.truncate(width);
+}
+
+fn zip_map(
+    a: &[SignalId],
+    b: &[SignalId],
+    f: impl Fn(&mut NetlistBuilder, SignalId, SignalId) -> SignalId,
+    builder: &mut NetlistBuilder,
+) -> Vec<SignalId> {
+    a.iter().zip(b).map(|(x, y)| f(builder, *x, *y)).collect()
+}
+
+/// Synthesize HDL text into a gate-level netlist.
+pub fn synthesize(src: &str) -> Result<Netlist, HdlError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let module = p.module()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after endmodule"));
+    }
+
+    let mut el = Elaborator {
+        b: NetlistBuilder::new(module.name.clone()),
+        module: &module,
+        values: HashMap::new(),
+        resolving: Vec::new(),
+    };
+
+    // Duplicate-decl check (except the output/reg pairing).
+    for (i, d) in module.decls.iter().enumerate() {
+        for d2 in &module.decls[i + 1..] {
+            if d.name == d2.name {
+                let pair_ok = matches!(
+                    (d.kind, d2.kind),
+                    (DeclKind::Output, DeclKind::Reg) | (DeclKind::Reg, DeclKind::Output)
+                );
+                if !pair_ok {
+                    return Err(HdlError {
+                        line: d2.line,
+                        message: format!("duplicate declaration of {:?}", d.name),
+                    });
+                }
+            }
+        }
+    }
+
+    // Seed inputs and registers (FF outputs are leaves).
+    let mut reg_q: Vec<(String, Vec<SignalId>, usize)> = Vec::new();
+    for d in &module.decls {
+        match d.kind {
+            DeclKind::Input => {
+                let bits = if d.width == 1 {
+                    vec![el.b.input(d.name.clone())]
+                } else {
+                    el.b.input_bus(&d.name, d.width)
+                };
+                el.values.insert(d.name.clone(), bits);
+            }
+            DeclKind::Reg => {
+                let zero = el.b.constant(false);
+                let first_dff = el.b.nl_mut().dffs.len();
+                let bits: Vec<SignalId> = (0..d.width)
+                    .map(|i| el.b.dff_init(zero, (d.init >> i) & 1 == 1))
+                    .collect();
+                el.values.insert(d.name.clone(), bits.clone());
+                reg_q.push((d.name.clone(), bits, first_dff));
+            }
+            _ => {}
+        }
+    }
+
+    // Register next-state functions.
+    for (name, _bits, first_dff) in &reg_q {
+        let (width, decl_line) = {
+            let d = el.decl(name).unwrap();
+            (d.width, d.line)
+        };
+        let stmt = el.stmt_for(name, true).ok_or_else(|| HdlError {
+            line: decl_line,
+            message: format!("reg {name:?} has no next statement"),
+        })?;
+        let mut next = el.eval(&stmt.expr, stmt.line)?;
+        resize(&mut next, width, &mut el.b);
+        for (i, d) in next.iter().enumerate() {
+            el.b.rewire_dff(first_dff + i, *d);
+        }
+    }
+
+    // Outputs.
+    for d in &module.decls {
+        if d.kind != DeclKind::Output {
+            continue;
+        }
+        let bits = el.bits_of(&d.name, d.line)?;
+        if bits.len() != d.width {
+            return Err(HdlError {
+                line: d.line,
+                message: format!(
+                    "output {:?} is {} bits but its driver is {}",
+                    d.name,
+                    d.width,
+                    bits.len()
+                ),
+            });
+        }
+        if d.width == 1 {
+            el.b.output(d.name.clone(), bits[0]);
+        } else {
+            el.b.output_bus(&d.name, &bits);
+        }
+    }
+
+    // Unassigned assigns to nonexistent targets / next to non-reg.
+    for s in &module.stmts {
+        let Some(d) = el.decl(&s.target) else {
+            return Err(HdlError {
+                line: s.line,
+                message: format!("assignment to undeclared {:?}", s.target),
+            });
+        };
+        if s.is_next && d.kind != DeclKind::Reg {
+            return Err(HdlError {
+                line: s.line,
+                message: format!("'next' target {:?} is not a reg", s.target),
+            });
+        }
+        if !s.is_next && matches!(d.kind, DeclKind::Reg | DeclKind::Input) {
+            return Err(HdlError {
+                line: s.line,
+                message: format!("'assign' target {:?} is not a wire/output", s.target),
+            });
+        }
+    }
+
+    Ok(el.b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Simulator;
+
+    #[test]
+    fn counter_from_text_matches_generator() {
+        let nl = synthesize(
+            r#"
+module counter;
+  input en;
+  output [3:0] q;
+  reg [3:0] q = 0;
+  next q = en ? q + 1 : q;
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("en", true);
+        for i in 0..20u64 {
+            assert_eq!(sim.output_bus("q"), i % 16, "cycle {i}");
+            sim.clock();
+        }
+        sim.set_input("en", false);
+        let held = sim.output_bus("q");
+        sim.run(3);
+        assert_eq!(sim.output_bus("q"), held);
+    }
+
+    #[test]
+    fn adder_subtractor_and_compare() {
+        let nl = synthesize(
+            r#"
+module alu;
+  input [3:0] a;
+  input [3:0] b;
+  output [3:0] sum;
+  output [3:0] diff;
+  output eq;
+  assign sum = a + b;
+  assign diff = a - b;
+  assign eq = a == b;
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&nl);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.set_input_bus("a", a);
+                sim.set_input_bus("b", b);
+                sim.settle();
+                assert_eq!(sim.output_bus("sum"), (a + b) % 16, "{a}+{b}");
+                assert_eq!(sim.output_bus("diff"), (16 + a - b) % 16, "{a}-{b}");
+                assert_eq!(sim.output("eq"), a == b, "{a}=={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_shifts_slices() {
+        let nl = synthesize(
+            r#"
+module bits;
+  input [7:0] d;
+  output p;        // xor reduction
+  output all;      // and reduction
+  output any;      // or reduction
+  output [7:0] dl; // shift left 2
+  output [3:0] hi; // upper nibble
+  output b3;       // single bit
+  assign p = ^d;
+  assign all = &d;
+  assign any = |d;
+  assign dl = d << 2;
+  assign hi = d[7:4];
+  assign b3 = d[3];
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&nl);
+        for v in [0u64, 0xFF, 0xA5, 0x01, 0x80, 0x3C] {
+            sim.set_input_bus("d", v);
+            sim.settle();
+            assert_eq!(sim.output("p"), (v.count_ones() % 2) == 1, "{v:#x}");
+            assert_eq!(sim.output("all"), v == 0xFF);
+            assert_eq!(sim.output("any"), v != 0);
+            assert_eq!(sim.output_bus("dl"), (v << 2) & 0xFF);
+            assert_eq!(sim.output_bus("hi"), v >> 4);
+            assert_eq!(sim.output("b3"), (v >> 3) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn comparisons_and_concat() {
+        let nl = synthesize(
+            r#"
+module cmp;
+  input [3:0] a;
+  input [3:0] b;
+  output lt;
+  output gt;
+  output le;
+  output ge;
+  output [7:0] cat;
+  assign lt = a < b;
+  assign gt = a > b;
+  assign le = a <= b;
+  assign ge = a >= b;
+  assign cat = {a, b};   // a is the high nibble
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&nl);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.set_input_bus("a", a);
+                sim.set_input_bus("b", b);
+                sim.settle();
+                assert_eq!(sim.output("lt"), a < b, "{a}<{b}");
+                assert_eq!(sim.output("gt"), a > b, "{a}>{b}");
+                assert_eq!(sim.output("le"), a <= b, "{a}<={b}");
+                assert_eq!(sim.output("ge"), a >= b, "{a}>={b}");
+                assert_eq!(sim.output_bus("cat"), (a << 4) | b, "cat {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_counter_uses_comparison() {
+        let nl = synthesize(
+            r#"
+module sat;
+  input en;
+  output [3:0] q;
+  reg [3:0] q = 0;
+  next q = (en & (q < 10)) ? q + 1 : q;
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("en", true);
+        sim.run(30);
+        assert_eq!(sim.output_bus("q"), 10, "saturates at 10");
+    }
+
+    #[test]
+    fn wires_chain_and_cycles_detected() {
+        let nl = synthesize(
+            r#"
+module chain;
+  input a;
+  wire x;
+  wire y;
+  output o;
+  assign x = ~a;
+  assign y = x ^ a;
+  assign o = y;
+endmodule
+"#,
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input("a", true);
+        sim.settle();
+        assert!(sim.output("o")); // ~a ^ a = 1
+
+        let err = synthesize(
+            r#"
+module loopy;
+  input a;
+  wire x;
+  wire y;
+  output o;
+  assign x = y;
+  assign y = x;
+  assign o = x & a;
+endmodule
+"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn reg_init_values() {
+        let nl = synthesize(
+            r#"
+module init;
+  output [3:0] q;
+  reg [3:0] q = 0b1010;
+  next q = q;
+endmodule
+"#,
+        )
+        .unwrap();
+        let sim = Simulator::new(&nl);
+        assert_eq!(sim.output_bus("q"), 0b1010);
+    }
+
+    #[test]
+    fn errors_are_located_and_descriptive() {
+        for (src, needle) in [
+            ("module m;\n  input a\nendmodule", "expected"),
+            ("module m;\n  output o;\nendmodule", "no assign"),
+            (
+                "module m;\n  reg r;\nendmodule",
+                "no next",
+            ),
+            (
+                "module m;\n  input a;\n  assign a = a;\nendmodule",
+                "not a wire",
+            ),
+            (
+                "module m;\n  input a;\n  next a = a;\nendmodule",
+                "not a reg",
+            ),
+            (
+                "module m;\n  input [3:0] a;\n  output o;\n  assign o = a[9];\nendmodule",
+                "out of range",
+            ),
+            (
+                "module m;\n  input a;\n  input a;\n  output o;\n  assign o = a;\nendmodule",
+                "duplicate",
+            ),
+            ("module m;\n  output o;\n  assign o = $;\nendmodule", "unexpected character"),
+        ] {
+            let err = synthesize(src).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "source {src:?} gave {err} (wanted {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn synthesized_module_survives_mapping() {
+        let nl = synthesize(
+            r#"
+module lfsr;
+  input en;
+  output [4:0] q;
+  reg [4:0] q = 1;
+  wire fb;
+  assign fb = q[4] ^ q[2];
+  next q = en ? ((q << 1) | fb) : q;
+endmodule
+"#,
+        )
+        .unwrap();
+        let mapped = crate::map::map_netlist(&nl);
+        assert_eq!(
+            crate::map::verify_mapping(&nl, &mapped, 64, 5),
+            None,
+            "synthesized LFSR diverges after mapping"
+        );
+    }
+}

@@ -1,0 +1,460 @@
+//! Logic optimization: the cleanup pass between synthesis and mapping.
+//!
+//! Three classic transforms, iterated to a fixed point:
+//!
+//! * **constant folding** — gates with constant inputs collapse
+//!   (`x & 0 → 0`, `x ^ 0 → x`, `mux(1, a, b) → b`, …);
+//! * **common-subexpression elimination** — structurally identical gates
+//!   merge (commutative operands normalized);
+//! * **dead-logic elimination** — gates, constants and flip-flops that no
+//!   output (transitively) observes are dropped.
+//!
+//! The result is a fresh [`Netlist`] with the same ports and the same
+//! behaviour — checked against the golden simulator in the tests.
+
+use crate::netlist::{Dff, Driver, Gate, GateKind, Netlist, SignalId};
+use std::collections::HashMap;
+
+/// Optimization statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Gates before.
+    pub gates_before: usize,
+    /// Gates after.
+    pub gates_after: usize,
+    /// Flip-flops before.
+    pub dffs_before: usize,
+    /// Flip-flops after.
+    pub dffs_after: usize,
+}
+
+/// What a signal resolves to after folding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Val {
+    /// A constant.
+    Const(bool),
+    /// Another signal (alias).
+    Sig(SignalId),
+}
+
+struct Optimizer<'a> {
+    nl: &'a Netlist,
+    /// Resolution of every signal (fixed point of folding/aliasing).
+    resolved: Vec<Val>,
+}
+
+impl<'a> Optimizer<'a> {
+    fn resolve(&self, s: SignalId) -> Val {
+        match self.resolved[s.0 as usize] {
+            Val::Sig(t) if t != s => self.resolve(t),
+            v => v,
+        }
+    }
+
+    /// One folding sweep; returns whether anything changed.
+    fn fold_pass(&mut self) -> bool {
+        let mut changed = false;
+        // CSE table: normalized (kind, a, b, sel) -> canonical output.
+        let mut cse: HashMap<(GateKind, Val, Val, Val), SignalId> = HashMap::new();
+        for g in &self.nl.gates {
+            let out = g.out;
+            if self.resolve(out) != Val::Sig(out) {
+                continue; // already folded away
+            }
+            let a = self.resolve(g.a);
+            let b = self.resolve(g.b);
+            let sel = self.resolve(g.sel);
+            let new = match (g.kind, a, b, sel) {
+                // Full constant evaluation.
+                (k, Val::Const(ca), Val::Const(cb), s) => {
+                    let cs = matches!(s, Val::Const(true));
+                    let known_sel = matches!(s, Val::Const(_)) || k != GateKind::Mux;
+                    if known_sel {
+                        Some(Val::Const(match k {
+                            GateKind::And => ca & cb,
+                            GateKind::Or => ca | cb,
+                            GateKind::Xor => ca ^ cb,
+                            GateKind::Not => !ca,
+                            GateKind::Buf => ca,
+                            GateKind::Mux => {
+                                if cs {
+                                    cb
+                                } else {
+                                    ca
+                                }
+                            }
+                        }))
+                    } else if ca == cb {
+                        Some(Val::Const(ca)) // mux of equal constants
+                    } else {
+                        None
+                    }
+                }
+                // Identities with one constant.
+                (GateKind::And, Val::Const(false), _, _)
+                | (GateKind::And, _, Val::Const(false), _) => Some(Val::Const(false)),
+                (GateKind::And, Val::Const(true), x, _)
+                | (GateKind::And, x, Val::Const(true), _) => Some(x),
+                (GateKind::Or, Val::Const(true), _, _)
+                | (GateKind::Or, _, Val::Const(true), _) => Some(Val::Const(true)),
+                (GateKind::Or, Val::Const(false), x, _)
+                | (GateKind::Or, x, Val::Const(false), _) => Some(x),
+                (GateKind::Xor, Val::Const(false), x, _)
+                | (GateKind::Xor, x, Val::Const(false), _) => Some(x),
+                (GateKind::Buf, x, _, _) => Some(x),
+                (GateKind::Not, Val::Const(c), _, _) => Some(Val::Const(!c)),
+                (GateKind::Mux, x, y, Val::Const(c)) => Some(if c { y } else { x }),
+                (GateKind::Mux, x, y, _) if x == y => Some(x),
+                // Same-operand identities.
+                (GateKind::And, x, y, _) | (GateKind::Or, x, y, _) if x == y => Some(x),
+                (GateKind::Xor, x, y, _) if x == y => Some(Val::Const(false)),
+                _ => None,
+            };
+            if let Some(v) = new {
+                self.resolved[out.0 as usize] = v;
+                changed = true;
+                continue;
+            }
+            // CSE with commutative normalization.
+            let (na, nb) = match g.kind {
+                GateKind::And | GateKind::Or | GateKind::Xor => {
+                    if key_of(a) <= key_of(b) {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                }
+                _ => (a, b),
+            };
+            let key = (g.kind, na, nb, if g.kind == GateKind::Mux { sel } else { Val::Const(false) });
+            match cse.get(&key) {
+                Some(&canon) if canon != out => {
+                    self.resolved[out.0 as usize] = Val::Sig(canon);
+                    changed = true;
+                }
+                Some(_) => {}
+                None => {
+                    cse.insert(key, out);
+                }
+            }
+        }
+        changed
+    }
+}
+
+fn key_of(v: Val) -> (u8, u32) {
+    match v {
+        Val::Const(false) => (0, 0),
+        Val::Const(true) => (0, 1),
+        Val::Sig(s) => (1, s.0),
+    }
+}
+
+/// Optimize a netlist; returns the new netlist and statistics.
+pub fn optimize(nl: &Netlist) -> (Netlist, OptStats) {
+    let mut opt = Optimizer {
+        nl,
+        resolved: (0..nl.signal_count() as u32)
+            .map(|i| match nl.drivers[i as usize] {
+                Driver::Const(c) => Val::Const(c),
+                _ => Val::Sig(SignalId(i)),
+            })
+            .collect(),
+    };
+    while opt.fold_pass() {}
+
+    // Liveness from outputs and (live) FFs.
+    let mut live = vec![false; nl.signal_count()];
+    let mut stack: Vec<SignalId> = Vec::new();
+    let mut push = |stack: &mut Vec<SignalId>, live: &mut Vec<bool>, v: Val| {
+        if let Val::Sig(s) = v {
+            if !live[s.0 as usize] {
+                live[s.0 as usize] = true;
+                stack.push(s);
+            }
+        }
+    };
+    for (_, s) in &nl.outputs {
+        let r = opt.resolve(*s);
+        push(&mut stack, &mut live, r);
+        // The port signal itself must stay materializable.
+        push(&mut stack, &mut live, Val::Sig(*s));
+    }
+    while let Some(s) = stack.pop() {
+        match nl.drivers[s.0 as usize] {
+            Driver::Gate(g) => {
+                let g = nl.gates[g as usize];
+                for dep in [g.a, g.b, g.sel] {
+                    let r = opt.resolve(dep);
+                    push(&mut stack, &mut live, r);
+                }
+            }
+            Driver::Dff(d) => {
+                let d = nl.dffs[d as usize];
+                let r = opt.resolve(d.d);
+                push(&mut stack, &mut live, r);
+            }
+            _ => {}
+        }
+    }
+
+    // Rebuild: keep inputs (always), live gates/FFs with resolved
+    // operands, and constants on demand.
+    let mut out = Netlist {
+        name: nl.name.clone(),
+        gates: Vec::new(),
+        dffs: Vec::new(),
+        drivers: Vec::new(),
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        signal_names: HashMap::new(),
+    };
+    let mut new_id: HashMap<SignalId, SignalId> = HashMap::new();
+    let mut const_ids: HashMap<bool, SignalId> = HashMap::new();
+
+    let mut fresh = |out: &mut Netlist, d: Driver| {
+        let id = SignalId(out.drivers.len() as u32);
+        out.drivers.push(d);
+        id
+    };
+    // Inputs first (ports keep their identity even if unused).
+    for (name, s) in &nl.inputs {
+        let id = fresh(&mut out, Driver::Input);
+        new_id.insert(*s, id);
+        out.inputs.push((name.clone(), id));
+    }
+    // Live FFs get their output signals early (they are leaves).
+    for (i, s) in (0..nl.signal_count() as u32).map(SignalId).enumerate() {
+        if !live[i] {
+            continue;
+        }
+        if let Driver::Dff(_) = nl.drivers[i] {
+            let id = fresh(&mut out, Driver::Dff(u32::MAX)); // patched below
+            new_id.insert(s, id);
+        }
+    }
+
+    // Map a resolved value to a new-netlist signal.
+    fn lookup(
+        v: Val,
+        new_id: &HashMap<SignalId, SignalId>,
+        const_ids: &mut HashMap<bool, SignalId>,
+        out: &mut Netlist,
+    ) -> SignalId {
+        match v {
+            Val::Const(c) => *const_ids.entry(c).or_insert_with(|| {
+                let id = SignalId(out.drivers.len() as u32);
+                out.drivers.push(Driver::Const(c));
+                id
+            }),
+            Val::Sig(s) => *new_id
+                .get(&s)
+                .unwrap_or_else(|| panic!("live signal {s:?} not rebuilt")),
+        }
+    }
+
+    // Emit live gates in topological order so operands exist first.
+    for s in nl.topo_order() {
+        let i = s.0 as usize;
+        if !live[i] || opt.resolve(s) != Val::Sig(s) {
+            continue;
+        }
+        if let Driver::Gate(g) = nl.drivers[i] {
+            let g = nl.gates[g as usize];
+            let a = lookup(opt.resolve(g.a), &new_id, &mut const_ids, &mut out);
+            let b = lookup(opt.resolve(g.b), &new_id, &mut const_ids, &mut out);
+            let sel = lookup(opt.resolve(g.sel), &new_id, &mut const_ids, &mut out);
+            let gi = out.gates.len() as u32;
+            let id = fresh(&mut out, Driver::Gate(gi));
+            out.gates.push(Gate {
+                kind: g.kind,
+                a,
+                b,
+                sel,
+                out: id,
+            });
+            new_id.insert(s, id);
+        }
+    }
+    // Patch FFs (their D logic now exists).
+    for s in (0..nl.signal_count() as u32).map(SignalId) {
+        let i = s.0 as usize;
+        if !live[i] {
+            continue;
+        }
+        if let Driver::Dff(d) = nl.drivers[i] {
+            let dff = nl.dffs[d as usize];
+            let dd = lookup(opt.resolve(dff.d), &new_id, &mut const_ids, &mut out);
+            let q = new_id[&s];
+            let di = out.dffs.len() as u32;
+            out.drivers[q.0 as usize] = Driver::Dff(di);
+            out.dffs.push(Dff {
+                d: dd,
+                q,
+                init: dff.init,
+            });
+        }
+    }
+    // Outputs: point at the resolved values.
+    for (name, s) in &nl.outputs {
+        let id = lookup(opt.resolve(*s), &new_id, &mut const_ids, &mut out);
+        out.outputs.push((name.clone(), id));
+    }
+    // Carry debug names where the signal survived.
+    for (sid, name) in &nl.signal_names {
+        if let Some(n) = new_id.get(&SignalId(*sid)) {
+            out.signal_names.insert(n.0, name.clone());
+        }
+    }
+
+    let stats = OptStats {
+        gates_before: nl.gates.len(),
+        gates_after: out.gates.len(),
+        dffs_before: nl.dffs.len(),
+        dffs_after: out.dffs.len(),
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Simulator;
+    use crate::gen;
+    use crate::netlist::NetlistBuilder;
+
+    /// Behavioural equivalence on random stimulus.
+    fn equivalent(a: &Netlist, b: &Netlist, cycles: usize) -> bool {
+        let mut sa = Simulator::new(a);
+        let mut sb = Simulator::new(b);
+        let mut rng: u64 = 0xFEED;
+        for _ in 0..cycles {
+            for (name, _) in &a.inputs {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let v = rng & 1 == 1;
+                sa.set_input(name, v);
+                sb.set_input(name, v);
+            }
+            sa.settle();
+            sb.settle();
+            for (name, _) in &a.outputs {
+                if sa.output(name) != sb.output(name) {
+                    return false;
+                }
+            }
+            sa.clock();
+            sb.clock();
+        }
+        true
+    }
+
+    #[test]
+    fn constant_folding_collapses_dead_logic() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let zero = b.constant(false);
+        let one = b.constant(true);
+        let x = b.and(a, zero); // = 0
+        let y = b.or(x, one); // = 1
+        let z = b.xor(y, a); // = ~a
+        let w = b.mux(zero, z, a); // = z
+        b.output("o", w);
+        let nl = b.build();
+        let (opt, stats) = optimize(&nl);
+        assert!(
+            stats.gates_after <= 2,
+            "expected ~1 gate (a NOT-ish xor), got {}",
+            stats.gates_after
+        );
+        assert!(equivalent(&nl, &opt, 16));
+    }
+
+    #[test]
+    fn cse_merges_duplicate_gates() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x1 = b.and(a, c);
+        let x2 = b.and(a, c); // duplicate
+        let x3 = b.and(c, a); // commuted duplicate
+        let o1 = b.xor(x1, x2); // = 0
+        let o2 = b.or(x2, x3); // = x1
+        b.output("o1", o1);
+        b.output("o2", o2);
+        let nl = b.build();
+        let (opt, stats) = optimize(&nl);
+        assert!(stats.gates_after <= 1, "got {}", stats.gates_after);
+        assert!(equivalent(&nl, &opt, 16));
+    }
+
+    #[test]
+    fn dead_ffs_are_removed_live_ones_kept() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let dead = b.dff(a); // never observed
+        let _ = dead;
+        let live = b.dff(a);
+        b.output("q", live);
+        let nl = b.build();
+        let (opt, stats) = optimize(&nl);
+        assert_eq!(stats.dffs_before, 2);
+        assert_eq!(stats.dffs_after, 1);
+        assert!(equivalent(&nl, &opt, 16));
+    }
+
+    #[test]
+    fn generators_survive_optimization() {
+        for nl in [
+            gen::counter("c", 4),
+            gen::gray_counter("g", 4),
+            gen::lfsr("l", 5),
+            gen::adder("a", 4),
+            gen::accumulator("acc", 4),
+            gen::string_matcher("m", &[true, false, true]),
+        ] {
+            let (opt, stats) = optimize(&nl);
+            assert!(
+                stats.gates_after <= stats.gates_before,
+                "{}: grew from {} to {}",
+                nl.name,
+                stats.gates_before,
+                stats.gates_after
+            );
+            assert!(equivalent(&nl, &opt, 48), "{} diverged", nl.name);
+        }
+    }
+
+    #[test]
+    fn hdl_output_benefits() {
+        // The HDL elaborator generates naive logic (e.g. adders with a
+        // constant-zero carry-in chain); optimization must shrink it.
+        let nl = crate::hdl::synthesize(
+            r#"
+module acc;
+  input en;
+  input [3:0] x;
+  output [3:0] q;
+  reg [3:0] q = 0;
+  next q = en ? q + x : q;
+endmodule
+"#,
+        )
+        .unwrap();
+        let (opt, stats) = optimize(&nl);
+        assert!(
+            stats.gates_after < stats.gates_before,
+            "no shrink: {stats:?}"
+        );
+        assert!(equivalent(&nl, &opt, 48));
+    }
+
+    #[test]
+    fn optimized_netlist_still_maps_and_simulates() {
+        let nl = gen::counter("c", 3);
+        let (opt, _) = optimize(&nl);
+        let mapped = crate::map::map_netlist(&opt);
+        assert_eq!(crate::map::verify_mapping(&opt, &mapped, 32, 3), None);
+    }
+}

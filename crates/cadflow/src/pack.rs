@@ -1,0 +1,274 @@
+//! Slice packing: turn LUT/FF cells into the slice-level instances and
+//! nets of an [`xdl::Design`].
+//!
+//! Two LUT cells share a slice (F position first, then G). The pin
+//! contract consumed by the router and by JPG's XDL translator:
+//!
+//! * LUT input *i* of the F cell arrives on pin `F{i+1}` (G cell:
+//!   `G{i+1}`) — matching equation input `A{i+1}`;
+//! * a combinational F cell drives `X` (G: `Y`); a registered one drives
+//!   `XQ` (`YQ`);
+//! * input IOB cells drive their `I` pin; output IOBs are fed on `O`;
+//! * sequential designs get a `clk` input IOB and a `Clock`-kind net
+//!   fanning out to the `CLK` pin of every slice holding a flip-flop.
+
+use crate::map::{LutCell, MappedNetlist, PortDir};
+use virtex::Device;
+use xdl::{CfgEntry, Design, Instance, InstanceKind, Net, NetKind, PinRef, Placement};
+
+/// Name of the implicit global-clock port/net.
+pub const CLOCK_NET: &str = "clk";
+
+/// Which half of a slice a cell went to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LutSite {
+    F,
+    G,
+}
+
+fn lut_cfg(slice_cfg: &mut Vec<CfgEntry>, cell: &LutCell, site: LutSite) {
+    let (lut_attr, ff_attr, init_attr, dmux_attr, omux_attr, omux_val) = match site {
+        LutSite::F => ("F", "FFX", "INITX", "DXMUX", "FXMUX", "F"),
+        LutSite::G => ("G", "FFY", "INITY", "DYMUX", "GYMUX", "G"),
+    };
+    slice_cfg.push(CfgEntry::new(
+        lut_attr,
+        cell.name.clone(),
+        xdl::truth_to_expr(cell.table),
+    ));
+    if let Some(init) = cell.ff_init {
+        slice_cfg.push(CfgEntry::new(ff_attr, format!("{}_reg", cell.name), "#FF"));
+        slice_cfg.push(CfgEntry::new(
+            init_attr,
+            "",
+            if init { "HIGH" } else { "LOW" },
+        ));
+        slice_cfg.push(CfgEntry::new(dmux_attr, "", "0")); // FF D <- LUT
+    }
+    slice_cfg.push(CfgEntry::new(omux_attr, "", omux_val));
+}
+
+/// Output pin name for a cell at `site`.
+fn out_pin(cell: &LutCell, site: LutSite) -> &'static str {
+    match (site, cell.ff_init.is_some()) {
+        (LutSite::F, false) => "X",
+        (LutSite::F, true) => "XQ",
+        (LutSite::G, false) => "Y",
+        (LutSite::G, true) => "YQ",
+    }
+}
+
+/// Input pin name for pin index `i` at `site`.
+fn in_pin(site: LutSite, i: usize) -> String {
+    match site {
+        LutSite::F => format!("F{}", i + 1),
+        LutSite::G => format!("G{}", i + 1),
+    }
+}
+
+/// Pack a mapped netlist into an (unplaced) design database for `device`.
+/// Instance names are prefixed with `prefix` (the module's hierarchical
+/// path, e.g. `"mod1/"`), matching how the Foundation flow names a
+/// module's primitives.
+pub fn pack_with_prefix(m: &MappedNetlist, device: Device, prefix: &str) -> Design {
+    let mut design = Design::new(m.name.clone(), device);
+
+    struct NetUse {
+        outpin: Option<PinRef>,
+        inpins: Vec<PinRef>,
+    }
+    let mut uses: Vec<NetUse> = (0..m.net_count())
+        .map(|_| NetUse {
+            outpin: None,
+            inpins: Vec::new(),
+        })
+        .collect();
+
+    let mut clocked_slices: Vec<String> = Vec::new();
+    for pair in m.luts.chunks(2) {
+        let inst_name = format!("{prefix}{}", pair[0].name);
+        let mut cfg = Vec::new();
+        let mut any_ff = false;
+        for (cell, site) in pair.iter().zip([LutSite::F, LutSite::G]) {
+            lut_cfg(&mut cfg, cell, site);
+            any_ff |= cell.ff_init.is_some();
+            uses[cell.out.0 as usize].outpin =
+                Some(PinRef::new(inst_name.clone(), out_pin(cell, site)));
+            for (i, net) in cell.inputs.iter().enumerate() {
+                uses[net.0 as usize]
+                    .inpins
+                    .push(PinRef::new(inst_name.clone(), in_pin(site, i)));
+            }
+        }
+        if any_ff {
+            cfg.push(CfgEntry::new("CKINV", "", "0"));
+            cfg.push(CfgEntry::new("CEMUX", "", "OFF"));
+            cfg.push(CfgEntry::new("SRMUX", "", "OFF"));
+            cfg.push(CfgEntry::new("SYNC_ATTR", "", "ASYNC"));
+            clocked_slices.push(inst_name.clone());
+        }
+        design.instances.push(Instance {
+            name: inst_name,
+            kind: InstanceKind::Slice,
+            placement: Placement::Unplaced,
+            cfg,
+        });
+    }
+
+    // IOB instances.
+    for io in &m.ios {
+        let inst_name = format!("{prefix}{}", io.name);
+        let cfg = match io.dir {
+            PortDir::Input => vec![CfgEntry::new("INBUF", "", "1")],
+            PortDir::Output => vec![CfgEntry::new("OUTBUF", "", "1")],
+        };
+        match io.dir {
+            PortDir::Input => {
+                uses[io.net.0 as usize].outpin = Some(PinRef::new(inst_name.clone(), "I"));
+            }
+            PortDir::Output => {
+                uses[io.net.0 as usize]
+                    .inpins
+                    .push(PinRef::new(inst_name.clone(), "O"));
+            }
+        }
+        design.instances.push(Instance {
+            name: inst_name,
+            kind: InstanceKind::Iob,
+            placement: Placement::Unplaced,
+            cfg,
+        });
+    }
+
+    // Signal nets.
+    for (id, u) in uses.into_iter().enumerate() {
+        if u.outpin.is_none() && u.inpins.is_empty() {
+            continue;
+        }
+        let mut net = Net::new(format!("{prefix}{}", m.net_names[id]), NetKind::Wire);
+        net.outpin = u.outpin;
+        net.inpins = u.inpins;
+        design.nets.push(net);
+    }
+
+    // Global clock.
+    if m.has_ffs {
+        let clk_inst = format!("{prefix}{CLOCK_NET}");
+        design.instances.push(Instance {
+            name: clk_inst.clone(),
+            kind: InstanceKind::Iob,
+            placement: Placement::Unplaced,
+            cfg: vec![
+                CfgEntry::new("INBUF", "", "1"),
+                CfgEntry::new("CLKBUF", "", "1"),
+            ],
+        });
+        let mut net = Net::new(format!("{prefix}{CLOCK_NET}"), NetKind::Clock);
+        net.outpin = Some(PinRef::new(clk_inst, "I"));
+        for s in clocked_slices {
+            net.inpins.push(PinRef::new(s, "CLK"));
+        }
+        design.nets.push(net);
+    }
+
+    design
+}
+
+/// Pack with no name prefix.
+pub fn pack(m: &MappedNetlist, device: Device) -> Design {
+    pack_with_prefix(m, device, "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::map::map_netlist;
+
+    #[test]
+    fn counter_packs_into_slices_and_iobs() {
+        let nl = gen::counter("cnt", 4);
+        let m = map_netlist(&nl);
+        let d = pack(&m, Device::XCV50);
+        let slices = d
+            .instances
+            .iter()
+            .filter(|i| i.kind == InstanceKind::Slice)
+            .count();
+        assert_eq!(slices, m.lut_count().div_ceil(2));
+        // en + 4 q + clk pads.
+        let iobs = d
+            .instances
+            .iter()
+            .filter(|i| i.kind == InstanceKind::Iob)
+            .count();
+        assert_eq!(iobs, 6);
+        // Clock net exists and reaches every clocked slice.
+        let clk = d.net("clk").expect("clock net");
+        assert_eq!(clk.kind, NetKind::Clock);
+        assert!(!clk.inpins.is_empty());
+        assert!(clk.inpins.iter().all(|p| p.pin == "CLK"));
+    }
+
+    #[test]
+    fn every_net_has_driver_and_pins_resolve() {
+        let nl = gen::adder("add", 4);
+        let m = map_netlist(&nl);
+        let d = pack(&m, Device::XCV50);
+        assert!(!d.nets.is_empty());
+        for net in &d.nets {
+            let out = net.outpin.as_ref().expect("driver");
+            assert!(d.instance(&out.inst).is_some(), "driver of {}", net.name);
+            for ip in &net.inpins {
+                assert!(d.instance(&ip.inst).is_some(), "load of {}", net.name);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_applies_to_instances_and_nets() {
+        let nl = gen::parity("par", 4);
+        let m = map_netlist(&nl);
+        let d = pack_with_prefix(&m, Device::XCV50, "mod1/");
+        assert!(d.instances.iter().all(|i| i.name.starts_with("mod1/")));
+        assert!(d.nets.iter().all(|n| n.name.starts_with("mod1/")));
+    }
+
+    #[test]
+    fn registered_cells_get_ff_cfg() {
+        let nl = gen::counter("cnt", 2);
+        let m = map_netlist(&nl);
+        let d = pack(&m, Device::XCV50);
+        let inst = d
+            .instances
+            .iter()
+            .find(|i| i.cfg.iter().any(|e| e.attr == "FFX"))
+            .expect("some slice has an FFX");
+        let ffx = inst.cfg.iter().find(|e| e.attr == "FFX").unwrap();
+        assert!(ffx.logical.ends_with("_reg"));
+        assert_eq!(ffx.value, "#FF");
+        assert!(inst.cfg.iter().any(|e| e.attr == "CKINV"));
+    }
+
+    #[test]
+    fn combinational_design_has_no_clock() {
+        let nl = gen::adder("add", 2);
+        let m = map_netlist(&nl);
+        let d = pack(&m, Device::XCV50);
+        assert!(d.net("clk").is_none());
+    }
+
+    #[test]
+    fn lut_equations_in_cfg_parse_back() {
+        let nl = gen::gray_counter("g", 3);
+        let m = map_netlist(&nl);
+        let d = pack(&m, Device::XCV50);
+        for inst in d.instances.iter().filter(|i| i.kind == InstanceKind::Slice) {
+            for attr in ["F", "G"] {
+                if let Some(v) = inst.cfg_value(attr) {
+                    assert!(xdl::expr_to_truth(v).is_ok(), "{v}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! Placement: simulated annealing over slice and IOB sites, honouring UCF
+//! `LOC` locks and `AREA_GROUP`/`RANGE` regions, with a *guided* mode that
+//! seeds from a previous implementation (the paper's Phase-2 "guided
+//! floorplanning" step).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+use virtex::{Device, IobCoord, SliceCoord, SliceId, TileCoord};
+use xdl::{Constraints, Design, InstanceKind, Placement, Rect};
+
+/// Placement options.
+#[derive(Debug, Clone)]
+pub struct PlaceOptions {
+    /// RNG seed (placement is deterministic given the seed).
+    pub seed: u64,
+    /// Effort multiplier on the annealing move budget (1.0 = default).
+    pub effort: f64,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions {
+            seed: 1,
+            effort: 1.0,
+        }
+    }
+}
+
+/// Placement failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// Region/domain has fewer sites than instances.
+    NoSpace {
+        /// Instance that could not be placed.
+        instance: String,
+    },
+    /// A `LOC` constraint targets an invalid or occupied site.
+    BadLoc {
+        /// Instance with the bad constraint.
+        instance: String,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::NoSpace { instance } => {
+                write!(f, "no free site for instance {instance:?}")
+            }
+            PlaceError::BadLoc { instance } => {
+                write!(f, "bad or conflicting LOC for instance {instance:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Placement statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlaceReport {
+    /// Total half-perimeter wirelength after placement.
+    pub wirelength: u64,
+    /// Annealing moves attempted.
+    pub moves: u64,
+    /// Moves accepted.
+    pub accepted: u64,
+}
+
+struct Problem {
+    /// Tile of each movable instance (slice instances only move over
+    /// slice sites, IOBs over IOB sites).
+    site_of: Vec<Site>,
+    fixed: Vec<bool>,
+    domain: Vec<Option<Rect>>,
+    /// Nets as lists of instance indices (pins collapse per instance).
+    nets: Vec<Vec<usize>>,
+    /// Net membership per instance.
+    member: Vec<Vec<usize>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Site {
+    Slice(SliceCoord),
+    Iob(IobCoord),
+}
+
+impl Site {
+    fn tile(self) -> TileCoord {
+        match self {
+            Site::Slice(s) => s.tile,
+            Site::Iob(io) => io.tile,
+        }
+    }
+
+    fn is_slice(self) -> bool {
+        matches!(self, Site::Slice(_))
+    }
+}
+
+fn all_slice_sites(device: Device, rect: Option<Rect>) -> Vec<SliceCoord> {
+    let g = device.geometry();
+    let full = Rect::new(0, 0, g.clb_rows as i32 - 1, g.clb_cols as i32 - 1);
+    let r = rect
+        .map(|r| {
+            Rect::new(
+                r.row0.max(0),
+                r.col0.max(0),
+                r.row1.min(full.row1),
+                r.col1.min(full.col1),
+            )
+        })
+        .unwrap_or(full);
+    r.tiles()
+        .flat_map(|t| SliceId::ALL.into_iter().map(move |s| SliceCoord::new(t, s)))
+        .collect()
+}
+
+fn all_iob_sites(device: Device) -> Vec<IobCoord> {
+    virtex::grid::iob_tiles(device)
+        .flat_map(|t| (0..virtex::routing::PADS_PER_IOB as u8).map(move |p| IobCoord::new(t, p)))
+        .collect()
+}
+
+fn hpwl(net: &[usize], site_of: &[Site]) -> u64 {
+    if net.len() < 2 {
+        return 0;
+    }
+    let (mut r0, mut r1, mut c0, mut c1) = (i32::MAX, i32::MIN, i32::MAX, i32::MIN);
+    for &i in net {
+        let t = site_of[i].tile();
+        r0 = r0.min(t.row);
+        r1 = r1.max(t.row);
+        c0 = c0.min(t.col);
+        c1 = c1.max(t.col);
+    }
+    ((r1 - r0) + (c1 - c0)) as u64
+}
+
+/// Place `design` in-place. Every instance ends up `Placement::Slice` or
+/// `Placement::Iob`; slice instances stay inside their UCF region.
+///
+/// `guide`: a previously placed design whose same-named instances seed
+/// (and lock) this placement — the paper's guided mode. Unmatched
+/// instances are annealed as usual.
+pub fn place(
+    design: &mut Design,
+    constraints: &Constraints,
+    guide: Option<&Design>,
+    opts: &PlaceOptions,
+) -> Result<PlaceReport, PlaceError> {
+    let device = design.device;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let n = design.instances.len();
+    let mut site_of: Vec<Option<Site>> = vec![None; n];
+    let mut fixed = vec![false; n];
+    let mut domain: Vec<Option<Rect>> = vec![None; n];
+    let mut occupied: HashMap<Site, usize> = HashMap::new();
+
+    // Pass 1: locks — explicit LOC, then guide.
+    for (i, inst) in design.instances.iter().enumerate() {
+        domain[i] = constraints.region_for(&inst.name);
+        let loc = constraints.loc_for(&inst.name).cloned().or_else(|| {
+            // Pad locks arrive as NET constraints on the port net, whose
+            // name equals the IOB instance name in our packing.
+            if inst.kind == InstanceKind::Iob {
+                constraints.net_loc_for(&inst.name).cloned()
+            } else {
+                None
+            }
+        });
+        let guided = guide.and_then(|g| g.instance(&inst.name)).and_then(|gi| {
+            match gi.placement {
+                Placement::Slice(s) => Some(Site::Slice(s)),
+                Placement::Iob(io) => Some(Site::Iob(io)),
+                Placement::Unplaced => None,
+            }
+        });
+        let want: Option<Site> = match (loc, inst.kind) {
+            (Some(xdl::ucf::LocTarget::Slice(s)), InstanceKind::Slice) => Some(Site::Slice(s)),
+            (Some(xdl::ucf::LocTarget::Tile(t)), InstanceKind::Slice) => {
+                // Either slice of the tile; prefer S0, fall back to S1.
+                let s0 = Site::Slice(SliceCoord::new(t, SliceId::S0));
+                let s1 = Site::Slice(SliceCoord::new(t, SliceId::S1));
+                if occupied.contains_key(&s0) {
+                    Some(s1)
+                } else {
+                    Some(s0)
+                }
+            }
+            (Some(xdl::ucf::LocTarget::Iob(io)), InstanceKind::Iob) => Some(Site::Iob(io)),
+            (Some(_), _) => {
+                return Err(PlaceError::BadLoc {
+                    instance: inst.name.clone(),
+                })
+            }
+            (None, _) => guided,
+        };
+        if let Some(site) = want {
+            let site_ok = match site {
+                Site::Slice(s) => s.tile.is_clb(device),
+                Site::Iob(io) => io.tile.is_iob(device),
+            };
+            if !site_ok || occupied.insert(site, i).is_some() {
+                return Err(PlaceError::BadLoc {
+                    instance: inst.name.clone(),
+                });
+            }
+            site_of[i] = Some(site);
+            fixed[i] = true;
+        }
+    }
+
+    // Pass 2: initial random placement of the rest.
+    let iob_pool = all_iob_sites(device);
+    for (i, inst) in design.instances.iter().enumerate() {
+        if site_of[i].is_some() {
+            continue;
+        }
+        let placed = match inst.kind {
+            InstanceKind::Slice => {
+                let pool = all_slice_sites(device, domain[i]);
+                let free: Vec<_> = pool
+                    .into_iter()
+                    .map(Site::Slice)
+                    .filter(|s| !occupied.contains_key(s))
+                    .collect();
+                if free.is_empty() {
+                    return Err(PlaceError::NoSpace {
+                        instance: inst.name.clone(),
+                    });
+                }
+                free[rng.gen_range(0..free.len())]
+            }
+            InstanceKind::Iob => {
+                let free: Vec<_> = iob_pool
+                    .iter()
+                    .copied()
+                    .map(Site::Iob)
+                    .filter(|s| !occupied.contains_key(s) && site_in_domain(*s, domain[i]))
+                    .collect();
+                if free.is_empty() {
+                    return Err(PlaceError::NoSpace {
+                        instance: inst.name.clone(),
+                    });
+                }
+                free[rng.gen_range(0..free.len())]
+            }
+        };
+        occupied.insert(placed, i);
+        site_of[i] = Some(placed);
+    }
+
+    // Build net incidence.
+    let index = design.instance_index();
+    let mut nets: Vec<Vec<usize>> = Vec::new();
+    for net in &design.nets {
+        let mut members: Vec<usize> = net
+            .outpin
+            .iter()
+            .chain(net.inpins.iter())
+            .filter_map(|p| index.get(p.inst.as_str()).copied())
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+        if members.len() >= 2 {
+            nets.push(members);
+        }
+    }
+    let mut member: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ni, net) in nets.iter().enumerate() {
+        for &i in net {
+            member[i].push(ni);
+        }
+    }
+
+    let mut prob = Problem {
+        site_of: site_of.into_iter().map(|s| s.expect("placed")).collect(),
+        fixed,
+        domain,
+        nets,
+        member,
+    };
+
+    let report = anneal(&mut prob, &mut occupied, device, opts, &mut rng);
+
+    // Write placements back.
+    for (i, inst) in design.instances.iter_mut().enumerate() {
+        inst.placement = match prob.site_of[i] {
+            Site::Slice(s) => Placement::Slice(s),
+            Site::Iob(io) => Placement::Iob(io),
+        };
+    }
+    Ok(report)
+}
+
+fn anneal(
+    prob: &mut Problem,
+    occupied: &mut HashMap<Site, usize>,
+    device: Device,
+    opts: &PlaceOptions,
+    rng: &mut StdRng,
+) -> PlaceReport {
+    let movable: Vec<usize> = (0..prob.site_of.len())
+        .filter(|&i| !prob.fixed[i])
+        .collect();
+    let mut report = PlaceReport::default();
+    let total_cost =
+        |p: &Problem| -> u64 { p.nets.iter().map(|net| hpwl(net, &p.site_of)).sum() };
+    let mut cost = total_cost(prob);
+    if movable.is_empty() || prob.nets.is_empty() {
+        report.wirelength = cost;
+        return report;
+    }
+
+    let g = device.geometry();
+    let span = (g.clb_rows + g.clb_cols) as u64;
+    let mut temp = (cost as f64 / prob.nets.len().max(1) as f64).max(1.0);
+    let moves_per_temp =
+        ((movable.len() * 12) as f64 * opts.effort).ceil() as usize;
+    let iob_pool = all_iob_sites(device);
+    // Candidate pools per distinct domain, computed once.
+    let mut pool_cache: HashMap<Option<Rect>, Vec<SliceCoord>> = HashMap::new();
+    for &i in &movable {
+        if prob.site_of[i].is_slice() {
+            pool_cache
+                .entry(prob.domain[i])
+                .or_insert_with(|| all_slice_sites(device, prob.domain[i]));
+        }
+    }
+
+    while temp > 0.05 {
+        for _ in 0..moves_per_temp {
+            report.moves += 1;
+            let i = movable[rng.gen_range(0..movable.len())];
+            // Candidate target site of the same kind, within i's domain.
+            let target = match prob.site_of[i] {
+                Site::Slice(_) => {
+                    let pool = &pool_cache[&prob.domain[i]];
+                    Site::Slice(pool[rng.gen_range(0..pool.len())])
+                }
+                Site::Iob(_) => Site::Iob(iob_pool[rng.gen_range(0..iob_pool.len())]),
+            };
+            if target == prob.site_of[i] {
+                continue;
+            }
+            // If occupied, propose a swap; the displaced instance must be
+            // movable, of the same kind, and allowed at i's site.
+            let other = occupied.get(&target).copied();
+            if let Some(j) = other {
+                if prob.fixed[j]
+                    || prob.site_of[j].is_slice() != prob.site_of[i].is_slice()
+                    || !site_in_domain(prob.site_of[i], prob.domain[j])
+                {
+                    continue;
+                }
+            }
+            if !site_in_domain(target, prob.domain[i]) {
+                continue;
+            }
+
+            // Affected nets.
+            let mut affected: Vec<usize> = prob.member[i].clone();
+            if let Some(j) = other {
+                affected.extend(&prob.member[j]);
+            }
+            affected.sort_unstable();
+            affected.dedup();
+            let before: u64 = affected
+                .iter()
+                .map(|&ni| hpwl(&prob.nets[ni], &prob.site_of))
+                .sum();
+
+            let old = prob.site_of[i];
+            prob.site_of[i] = target;
+            if let Some(j) = other {
+                prob.site_of[j] = old;
+            }
+
+            let after: u64 = affected
+                .iter()
+                .map(|&ni| hpwl(&prob.nets[ni], &prob.site_of))
+                .sum();
+            let delta = after as i64 - before as i64;
+            let accept = delta <= 0
+                || rng.gen_bool((-(delta as f64) / temp).exp().clamp(0.0, 1.0));
+            if accept {
+                occupied.remove(&old);
+                if let Some(j) = other {
+                    occupied.insert(old, j);
+                }
+                occupied.insert(target, i);
+                cost = (cost as i64 + delta) as u64;
+                report.accepted += 1;
+            } else {
+                // Revert.
+                prob.site_of[i] = old;
+                if let Some(j) = other {
+                    prob.site_of[j] = target;
+                }
+            }
+        }
+        temp *= 0.85;
+        // Early exit when the layout is as tight as the fabric allows.
+        if cost == 0 || span == 0 {
+            break;
+        }
+    }
+    report.wirelength = cost;
+    report
+}
+
+fn site_in_domain(site: Site, domain: Option<Rect>) -> bool {
+    match (site, domain) {
+        (Site::Slice(s), Some(r)) => r.contains(s.tile),
+        // A floorplanned module's pads go on the top/bottom ring within
+        // the region's column span, so everything the module touches lives
+        // in its own configuration columns (the property JPG partials rely
+        // on).
+        // Only the top/bottom rings have in-span columns (the left/right
+        // rings sit at column −1/`cols`, outside any region).
+        (Site::Iob(io), Some(r)) => (r.col0..=r.col1).contains(&io.tile.col),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::map::map_netlist;
+    use crate::pack::pack_with_prefix;
+    use virtex::Device;
+
+    fn place_counter(constraint_text: &str, seed: u64) -> (Design, PlaceReport) {
+        let nl = gen::counter("cnt", 4);
+        let m = map_netlist(&nl);
+        let mut d = pack_with_prefix(&m, Device::XCV50, "mod1/");
+        let cons = Constraints::parse(constraint_text).unwrap();
+        let r = place(&mut d, &cons, None, &PlaceOptions { seed, effort: 0.5 }).unwrap();
+        (d, r)
+    }
+
+    #[test]
+    fn all_instances_placed_without_overlap() {
+        let (d, _) = place_counter("", 3);
+        assert!(d.fully_placed());
+        let mut seen = std::collections::HashSet::new();
+        for inst in &d.instances {
+            let key = inst.placement.site_name().unwrap();
+            assert!(seen.insert(key), "overlap at {:?}", inst.placement);
+        }
+    }
+
+    #[test]
+    fn region_constraint_respected() {
+        let ucf = r#"
+INST "mod1/*" AREA_GROUP = "AG" ;
+AREA_GROUP "AG" RANGE = CLB_R1C1:CLB_R8C6 ;
+"#;
+        let (d, _) = place_counter(ucf, 7);
+        let region = Rect::new(0, 0, 7, 5);
+        for (inst, s) in d.occupied_slices() {
+            assert!(
+                region.contains(s.tile),
+                "{} escaped the region to {}",
+                inst.name,
+                s.tile
+            );
+        }
+    }
+
+    #[test]
+    fn loc_lock_respected() {
+        // Learn a concrete slice-instance name, then lock exactly it.
+        let nl = gen::counter("cnt", 4);
+        let m = map_netlist(&nl);
+        let d0 = pack_with_prefix(&m, Device::XCV50, "mod1/");
+        let victim = d0
+            .instances
+            .iter()
+            .find(|i| i.kind == xdl::InstanceKind::Slice)
+            .unwrap()
+            .name
+            .clone();
+        let ucf = format!("INST \"{victim}\" LOC = \"CLB_R2C3.S0\" ;");
+        let (d, _) = place_counter(&ucf, 9);
+        match d.instance(&victim).unwrap().placement {
+            Placement::Slice(s) => {
+                assert_eq!(s.tile, TileCoord::new(1, 2));
+                assert_eq!(s.slice, SliceId::S0);
+            }
+            _ => panic!("locked instance not on a slice"),
+        }
+    }
+
+    #[test]
+    fn conflicting_loc_glob_is_an_error() {
+        // A LOC whose glob matches several instances cannot put them all
+        // on one site.
+        let nl = gen::counter("cnt", 4);
+        let m = map_netlist(&nl);
+        let mut d = pack_with_prefix(&m, Device::XCV50, "mod1/");
+        let cons = Constraints::parse("INST \"mod1/*\" LOC = \"CLB_R2C3.S0\" ;").unwrap();
+        let err = place(&mut d, &cons, None, &PlaceOptions::default()).unwrap_err();
+        assert!(matches!(err, PlaceError::BadLoc { .. }));
+    }
+
+    #[test]
+    fn annealing_improves_over_random() {
+        // Compare final wirelength against the cost of a seed-0 placement
+        // with zero effort (pure random).
+        let nl = gen::accumulator("acc", 8);
+        let m = map_netlist(&nl);
+        let mut d1 = pack_with_prefix(&m, Device::XCV100, "");
+        let mut d2 = d1.clone();
+        let cons = Constraints::default();
+        let r_random = place(
+            &mut d1,
+            &cons,
+            None,
+            &PlaceOptions {
+                seed: 5,
+                effort: 0.01,
+            },
+        )
+        .unwrap();
+        let r_annealed = place(
+            &mut d2,
+            &cons,
+            None,
+            &PlaceOptions {
+                seed: 5,
+                effort: 1.0,
+            },
+        )
+        .unwrap();
+        assert!(
+            r_annealed.wirelength <= r_random.wirelength,
+            "annealed {} > random {}",
+            r_annealed.wirelength,
+            r_random.wirelength
+        );
+    }
+
+    #[test]
+    fn guided_mode_reuses_placement() {
+        let (base, _) = place_counter("", 11);
+        // Re-place the same design guided by itself: every instance must
+        // stay put.
+        let nl = gen::counter("cnt", 4);
+        let m = map_netlist(&nl);
+        let mut d = pack_with_prefix(&m, Device::XCV50, "mod1/");
+        let cons = Constraints::default();
+        place(
+            &mut d,
+            &cons,
+            Some(&base),
+            &PlaceOptions {
+                seed: 999,
+                effort: 1.0,
+            },
+        )
+        .unwrap();
+        for inst in &d.instances {
+            let orig = base.instance(&inst.name).unwrap();
+            assert_eq!(inst.placement, orig.placement, "{} moved", inst.name);
+        }
+    }
+
+    #[test]
+    fn overfull_region_is_an_error() {
+        let ucf = r#"
+INST "mod1/*" AREA_GROUP = "AG" ;
+AREA_GROUP "AG" RANGE = CLB_R1C1:CLB_R1C1 ;
+"#;
+        let nl = gen::counter("cnt", 4);
+        let m = map_netlist(&nl);
+        let mut d = pack_with_prefix(&m, Device::XCV50, "mod1/");
+        let cons = Constraints::parse(ucf).unwrap();
+        let err = place(&mut d, &cons, None, &PlaceOptions::default()).unwrap_err();
+        assert!(matches!(err, PlaceError::NoSpace { .. }));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let (d1, _) = place_counter("", 42);
+        let (d2, _) = place_counter("", 42);
+        assert_eq!(d1, d2);
+        let (d3, _) = place_counter("", 43);
+        assert_ne!(d1, d3, "different seeds should explore differently");
+    }
+}

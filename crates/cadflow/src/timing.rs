@@ -1,0 +1,220 @@
+//! Static timing analysis over a placed-and-routed design.
+//!
+//! A compact paper-era delay model (nanoseconds, Virtex -4 speed grade
+//! magnitudes): LUT 0.6, single 0.8, hex 1.3, long 2.1, OMUX 0.4, pad
+//! 1.0, clock tree 0.9. Combinational paths start at input pads and
+//! flip-flop outputs, end at output pads and flip-flop D inputs; the
+//! worst path sets the maximum clock frequency.
+
+use crate::route::pin_wire;
+use std::collections::HashMap;
+use virtex::{Wire, WireKind};
+use xdl::{Design, InstanceKind, NetKind, PinRef};
+
+/// LUT propagation delay (ns).
+pub const LUT_DELAY: f64 = 0.6;
+/// Pad buffer delay (ns).
+pub const PAD_DELAY: f64 = 1.0;
+
+/// Routing delay contributed by entering `wire` (ns).
+pub fn wire_delay(kind: &WireKind) -> f64 {
+    match kind {
+        WireKind::SlicePin { .. } => 0.1,
+        WireKind::Omux(_) => 0.4,
+        WireKind::Single { .. } => 0.8,
+        WireKind::Hex { .. } => 1.3,
+        WireKind::Long { .. } => 2.1,
+        WireKind::PadIn(_) | WireKind::PadOut(_) => PAD_DELAY,
+        WireKind::GlobalClock(_) => 0.9,
+    }
+}
+
+/// Timing analysis results.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Worst combinational path delay in ns.
+    pub critical_path_ns: f64,
+    /// Implied maximum clock frequency in MHz (∞-safe: 0 nets → high cap).
+    pub max_freq_mhz: f64,
+    /// The endpoints of the worst path: `(from, to)` pin descriptions.
+    pub worst_path: (String, String),
+    /// Per-net worst sink routing delay (net name → ns).
+    pub net_delays: HashMap<String, f64>,
+}
+
+/// Per-sink routing delays of one routed net: `(inpin index, ns)`.
+fn net_sink_delays(design: &Design, net: &xdl::Net) -> Vec<(usize, f64)> {
+    let Some(outpin) = &net.outpin else {
+        return Vec::new();
+    };
+    let Ok(source) = pin_wire(design, outpin) else {
+        return Vec::new();
+    };
+    let mut delay: HashMap<Wire, f64> = HashMap::new();
+    delay.insert(source, 0.0);
+    for pip in &net.pips {
+        let base = delay.get(&pip.from).copied().unwrap_or(0.0);
+        delay.insert(pip.to, base + wire_delay(&pip.to.kind));
+    }
+    net.inpins
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| {
+            let w = pin_wire(design, p).ok()?;
+            Some((i, delay.get(&w).copied().unwrap_or(0.0)))
+        })
+        .collect()
+}
+
+/// Whether a slice pin reference is a combinational path *start* (FF
+/// output or pad input).
+fn is_path_start(design: &Design, pin: &PinRef) -> bool {
+    match design.instance(&pin.inst).map(|i| i.kind) {
+        Some(InstanceKind::Slice) => pin.pin == "XQ" || pin.pin == "YQ",
+        Some(InstanceKind::Iob) => pin.pin == "I",
+        None => false,
+    }
+}
+
+/// Run static timing analysis. Requires a placed and routed design.
+pub fn analyze(design: &Design) -> TimingReport {
+    // Arrival time at each driven pin (instance, pin) plus a provenance
+    // string for reporting.
+    let mut arrival: HashMap<(String, String), (f64, String)> = HashMap::new();
+
+    // Combinational depth is bounded by slice count; iterate to a fixed
+    // point (the design graph is small and acyclic through LUTs).
+    let mut net_delays = HashMap::new();
+    let max_iters = design.instances.len() + 2;
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for net in &design.nets {
+            if net.kind != NetKind::Wire {
+                continue;
+            }
+            let Some(outpin) = &net.outpin else { continue };
+            // Arrival at the driver pin.
+            let (t0, origin) = if is_path_start(design, outpin) {
+                (
+                    if outpin.pin == "I" { PAD_DELAY } else { 0.0 },
+                    format!("{}/{}", outpin.inst, outpin.pin),
+                )
+            } else {
+                // Combinational slice output: max over the slice's LUT
+                // inputs + LUT delay.
+                let inst = match design.instance(&outpin.inst) {
+                    Some(i) => i,
+                    None => continue,
+                };
+                if inst.kind != InstanceKind::Slice {
+                    continue;
+                }
+                let prefix = if outpin.pin == "X" { "F" } else { "G" };
+                let mut worst = (0.0f64, format!("{}/{}", outpin.inst, outpin.pin));
+                for i in 1..=4 {
+                    let key = (outpin.inst.clone(), format!("{prefix}{i}"));
+                    if let Some((t, org)) = arrival.get(&key) {
+                        if *t > worst.0 {
+                            worst = (*t, org.clone());
+                        }
+                    }
+                }
+                (worst.0 + LUT_DELAY, worst.1)
+            };
+            // Propagate along the routed net to each sink.
+            let mut worst_net = 0.0f64;
+            for (i, d) in net_sink_delays(design, net) {
+                worst_net = worst_net.max(d);
+                let sink = &net.inpins[i];
+                let t = t0 + d;
+                let key = (sink.inst.clone(), sink.pin.clone());
+                let better = arrival
+                    .get(&key)
+                    .map(|(prev, _)| t > *prev + 1e-9)
+                    .unwrap_or(true);
+                if better {
+                    arrival.insert(key, (t, origin.clone()));
+                    changed = true;
+                }
+            }
+            net_delays.insert(net.name.clone(), worst_net);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Path ends: FF D inputs (approximated by LUT input pins of
+    // registered slices), SR/CE pins, and output pads.
+    let mut worst = (0.0f64, ("-".to_string(), "-".to_string()));
+    for ((inst, pin), (t, origin)) in &arrival {
+        let end_t = match design.instance(inst).map(|i| i.kind) {
+            Some(InstanceKind::Iob) if pin == "O" => *t + PAD_DELAY,
+            Some(InstanceKind::Slice) => *t + LUT_DELAY, // through the sink LUT
+            _ => *t,
+        };
+        if end_t > worst.0 {
+            worst = (end_t, (origin.clone(), format!("{inst}/{pin}")));
+        }
+    }
+
+    let critical = worst.0;
+    TimingReport {
+        critical_path_ns: critical,
+        max_freq_mhz: if critical > 0.0 {
+            1000.0 / critical
+        } else {
+            1000.0
+        },
+        worst_path: worst.1,
+        net_delays,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{implement, FlowOptions};
+    use crate::gen;
+    use virtex::Device;
+    use xdl::Constraints;
+
+    fn implemented(nl: &crate::netlist::Netlist, seed: u64) -> Design {
+        let mut opts = FlowOptions::default();
+        opts.place.seed = seed;
+        let (d, _) =
+            implement(nl, Device::XCV50, &Constraints::default(), "", None, &opts).unwrap();
+        d
+    }
+
+    #[test]
+    fn counter_has_plausible_timing() {
+        let d = implemented(&gen::counter("c", 4), 3);
+        let r = analyze(&d);
+        assert!(r.critical_path_ns > 1.0, "{}", r.critical_path_ns);
+        assert!(r.critical_path_ns < 200.0, "{}", r.critical_path_ns);
+        assert!(r.max_freq_mhz > 5.0);
+        assert!(!r.net_delays.is_empty());
+        assert_ne!(r.worst_path.0, "-");
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        let shallow = analyze(&implemented(&gen::parity("p", 4), 5));
+        let deep = analyze(&implemented(&gen::adder("a", 8), 5));
+        assert!(
+            deep.critical_path_ns > shallow.critical_path_ns,
+            "8-bit ripple adder ({:.1}ns) should beat 4-bit parity ({:.1}ns)",
+            deep.critical_path_ns,
+            shallow.critical_path_ns
+        );
+    }
+
+    #[test]
+    fn unrouted_design_reports_zeroish() {
+        let d = Design::new("empty", Device::XCV50);
+        let r = analyze(&d);
+        assert_eq!(r.critical_path_ns, 0.0);
+        assert_eq!(r.max_freq_mhz, 1000.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Command-line front end for the JPG tool — the batch equivalent of the
+//! paper's GUI.
+//!
+//! ```text
+//! jpg-cli info <file.bit>
+//! jpg-cli partial --base <base.bit> --xdl <mod.xdl> --ucf <mod.ucf>
+//!         --out <partial.bit> [--merge <updated-base.bit>] [--floorplan]
+//! ```
+
+use bitstream::BitFile;
+use jpg::JpgProject;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("info") => info(&args[1..]),
+        Some("partial") => partial(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  jpg-cli info <file.bit>\n  jpg-cli partial --base <base.bit> \
+                 --xdl <mod.xdl> --ucf <mod.ucf> --out <partial.bit> \
+                 [--merge <updated.bit>] [--floorplan]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("jpg-cli: {msg}");
+    ExitCode::FAILURE
+}
+
+fn info(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("info: missing file");
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    match BitFile::from_bytes(&bytes) {
+        Ok(f) => {
+            println!("design : {}", f.design);
+            println!("device : {}", f.device);
+            println!("kind   : {}", if f.partial { "partial" } else { "complete" });
+            println!("payload: {} bytes", f.bitstream.byte_len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("{path}: {e}")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut bare = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), it.next().unwrap().clone());
+                }
+                _ => {
+                    flags.insert(name.to_string(), String::new());
+                }
+            }
+        } else {
+            bare.push(a.clone());
+        }
+    }
+    (flags, bare)
+}
+
+fn partial(args: &[String]) -> ExitCode {
+    let (flags, _) = parse_flags(args);
+    let need = |k: &str| -> Result<String, String> {
+        flags
+            .get(k)
+            .filter(|v| !v.is_empty())
+            .cloned()
+            .ok_or_else(|| format!("partial: missing --{k}"))
+    };
+    let run = || -> Result<(), String> {
+        let base_path = need("base")?;
+        let xdl_path = need("xdl")?;
+        let ucf_path = need("ucf")?;
+        let out_path = need("out")?;
+
+        let base_bytes = std::fs::read(&base_path).map_err(|e| format!("{base_path}: {e}"))?;
+        let base = BitFile::from_bytes(&base_bytes).map_err(|e| format!("{base_path}: {e}"))?;
+        if base.partial {
+            return Err(format!("{base_path}: base design must be a complete bitstream"));
+        }
+        let xdl_text =
+            std::fs::read_to_string(&xdl_path).map_err(|e| format!("{xdl_path}: {e}"))?;
+        let ucf_text =
+            std::fs::read_to_string(&ucf_path).map_err(|e| format!("{ucf_path}: {e}"))?;
+
+        let mut project = JpgProject::open(base).map_err(|e| e.to_string())?;
+        let result = project
+            .generate_partial(&xdl_text, &ucf_text)
+            .map_err(|e| e.to_string())?;
+
+        if flags.contains_key("floorplan") {
+            eprintln!("{}", result.floorplan);
+        }
+        eprintln!(
+            "partial: {} bytes over CLB columns {:?} ({} frames, {} JBits calls)",
+            result.bitstream.byte_len(),
+            result.clb_columns,
+            result.frames,
+            result.stats.total()
+        );
+        std::fs::write(&out_path, result.bitfile.to_bytes())
+            .map_err(|e| format!("{out_path}: {e}"))?;
+        eprintln!("wrote {out_path}");
+
+        if let Some(merge_path) = flags.get("merge").filter(|v| !v.is_empty()) {
+            project.write_onto_base(&result).map_err(|e| e.to_string())?;
+            std::fs::write(merge_path, project.base_bitstream().to_bytes())
+                .map_err(|e| format!("{merge_path}: {e}"))?;
+            eprintln!("wrote {merge_path} (base with module applied)");
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}

@@ -1,0 +1,405 @@
+//! The two-phase methodology around the JPG tool (paper §3.1–3.2).
+//!
+//! **Phase 1** builds the base design: the device is partitioned into
+//! floorplanned regions (one per reconfigurable module), each module is
+//! implemented *inside its own columns*, the results are merged and a
+//! complete bitstream is generated.
+//!
+//! **Phase 2** re-implements a single module "as a new project": same
+//! region constraints, *guided* placement (pads return to the base
+//! design's sites so the interface stays put), and the outputs are
+//! exactly what JPG consumes — the module's XDL and UCF text.
+
+use bitstream::BitFile;
+use cadflow::netlist::Netlist;
+use cadflow::{implement, FlowError, FlowOptions, FlowReport};
+use jbits::Jbits;
+use std::fmt;
+use virtex::{ConfigMemory, Device};
+use xdl::{Constraints, Design, Rect};
+
+/// One reconfigurable module of the base design.
+#[derive(Debug, Clone)]
+pub struct ModuleSpec {
+    /// Hierarchical prefix, e.g. `"mod1/"`. Must be unique.
+    pub prefix: String,
+    /// The module's logic.
+    pub netlist: Netlist,
+    /// Full-height floorplan region (the columns the module owns).
+    pub region: Rect,
+}
+
+/// Phase-1 output: the implemented base design and its artifacts.
+#[derive(Debug, Clone)]
+pub struct BaseDesign {
+    /// Merged, placed and routed design database.
+    pub design: Design,
+    /// The floorplan constraints (what the UCF file holds).
+    pub constraints: Constraints,
+    /// Complete configuration image.
+    pub memory: ConfigMemory,
+    /// Complete bitstream (`.bit` of the base design).
+    pub bitstream: BitFile,
+    /// Per-module flow reports, in `ModuleSpec` order.
+    pub reports: Vec<FlowReport>,
+    /// Module prefixes in Phase-1 order — a module's position also picks
+    /// its global clock tree, so Phase-2 variants must reuse it.
+    pub module_prefixes: Vec<String>,
+}
+
+/// Phase-2 output: one re-implemented module, as JPG sees it.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// XDL text of the module (the `.xdl` file).
+    pub xdl: String,
+    /// UCF text of the module (the `.ucf` file).
+    pub ucf: String,
+    /// The design database behind the XDL.
+    pub design: Design,
+    /// Flow report for the module implementation.
+    pub report: FlowReport,
+}
+
+/// Workflow failure.
+#[derive(Debug)]
+pub enum WorkflowError {
+    /// A module flow failed.
+    Flow {
+        /// Module prefix.
+        module: String,
+        /// Underlying error.
+        error: FlowError,
+    },
+    /// Module translation onto the bitstream failed.
+    Translate(crate::translate::TranslateError),
+    /// Regions overlap in columns (JPG partials are column-granular).
+    OverlappingRegions {
+        /// The two offending prefixes.
+        modules: (String, String),
+    },
+    /// The JPG tool rejected a variant while building a library.
+    Jpg {
+        /// Module prefix.
+        module: String,
+        /// Error text (JpgError is not `Send`-friendly across rayon).
+        message: String,
+    },
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::Flow { module, error } => {
+                write!(f, "module {module:?}: {error}")
+            }
+            WorkflowError::Translate(e) => write!(f, "translation failed: {e}"),
+            WorkflowError::OverlappingRegions { modules } => write!(
+                f,
+                "regions of {:?} and {:?} share columns",
+                modules.0, modules.1
+            ),
+            WorkflowError::Jpg { module, message } => {
+                write!(f, "module {module:?}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl From<crate::translate::TranslateError> for WorkflowError {
+    fn from(e: crate::translate::TranslateError) -> Self {
+        WorkflowError::Translate(e)
+    }
+}
+
+/// The UCF constraint set for a floorplanned module.
+pub fn module_constraints(prefix: &str, region: Rect) -> Constraints {
+    let group = format!("AG_{}", prefix.trim_end_matches('/'));
+    let text = format!(
+        "INST \"{prefix}*\" AREA_GROUP = \"{group}\" ;\nAREA_GROUP \"{group}\" RANGE = {} ;\n",
+        region.to_range_string()
+    );
+    Constraints::parse(&text).expect("generated UCF parses")
+}
+
+fn flow_options(seed: u64, region: Rect, clock_index: u8) -> FlowOptions {
+    let mut opts = FlowOptions::default();
+    opts.place.seed = seed;
+    opts.route.seed = seed;
+    opts.route.region_cols = Some((region.col0, region.col1));
+    opts.route.clock_index = Some(clock_index % virtex::routing::GLOBAL_CLOCKS as u8);
+    opts
+}
+
+/// Phase 1: implement every module in its region and assemble the base
+/// design plus its complete bitstream.
+pub fn build_base(
+    name: &str,
+    device: Device,
+    modules: &[ModuleSpec],
+    seed: u64,
+) -> Result<BaseDesign, WorkflowError> {
+    // Column-disjointness check.
+    for (i, a) in modules.iter().enumerate() {
+        for b in &modules[i + 1..] {
+            if a.region.col0 <= b.region.col1 && b.region.col0 <= a.region.col1 {
+                return Err(WorkflowError::OverlappingRegions {
+                    modules: (a.prefix.clone(), b.prefix.clone()),
+                });
+            }
+        }
+    }
+
+    let mut constraints = Constraints::default();
+    let mut designs = Vec::new();
+    let mut reports = Vec::new();
+    for (mi, m) in modules.iter().enumerate() {
+        let cons = module_constraints(&m.prefix, m.region);
+        constraints.merge(&cons);
+        let (d, report) = implement(
+            &m.netlist,
+            device,
+            &cons,
+            &m.prefix,
+            None,
+            &flow_options(seed, m.region, mi as u8),
+        )
+        .map_err(|error| WorkflowError::Flow {
+            module: m.prefix.clone(),
+            error,
+        })?;
+        designs.push(d);
+        reports.push(report);
+    }
+    let refs: Vec<&Design> = designs.iter().collect();
+    let design = cadflow::merge_designs(name, device, &refs);
+
+    let mut jb = Jbits::new(device);
+    crate::translate::apply_design(&mut jb, &design)?;
+    let memory = jb.into_memory();
+    let bits = bitstream::full_bitstream(&memory);
+    let bitstream = BitFile::new(name, device, false, bits);
+
+    Ok(BaseDesign {
+        design,
+        constraints,
+        memory,
+        bitstream,
+        reports,
+        module_prefixes: modules.iter().map(|m| m.prefix.clone()).collect(),
+    })
+}
+
+/// Phase 2: re-implement one module against the base design. `prefix`
+/// selects the region (it must match one used in Phase 1); placement is
+/// guided by the base design so the module interface (its pads) stays on
+/// the same sites.
+pub fn implement_variant(
+    base: &BaseDesign,
+    prefix: &str,
+    netlist: &Netlist,
+    seed: u64,
+) -> Result<VariantResult, WorkflowError> {
+    let region = base
+        .constraints
+        .region_for(&format!("{prefix}x"))
+        .expect("prefix has a region in the base constraints");
+    let cons = module_constraints(prefix, region);
+    let clock_index = base
+        .module_prefixes
+        .iter()
+        .position(|p| p == prefix)
+        .expect("prefix was part of the Phase-1 base design") as u8;
+    let (design, report) = implement(
+        netlist,
+        base.design.device,
+        &cons,
+        prefix,
+        Some(&base.design),
+        &flow_options(seed, region, clock_index),
+    )
+    .map_err(|error| WorkflowError::Flow {
+        module: prefix.to_string(),
+        error,
+    })?;
+    Ok(VariantResult {
+        xdl: xdl::print(&design),
+        ucf: cons.print(),
+        design,
+        report,
+    })
+}
+
+/// Phase 2 at scale: implement a whole catalogue of variants for one
+/// region and generate their partial bitstreams — the library the
+/// paper's GUI lets the designer pick from ("an opportunity to create
+/// multiple partial bitstreams that are selected through a GUI interface
+/// and downloaded into the device").
+///
+/// Variants are independent, so they run in parallel (Rayon).
+pub fn build_variant_library(
+    base: &BaseDesign,
+    prefix: &str,
+    variants: &[Netlist],
+    seed: u64,
+) -> Result<Vec<(String, crate::project::PartialResult)>, WorkflowError> {
+    use rayon::prelude::*;
+    let project = crate::project::JpgProject::from_memory("library", base.memory.clone());
+    variants
+        .par_iter()
+        .enumerate()
+        .map(|(i, nl)| {
+            let v = implement_variant(base, prefix, nl, seed ^ ((i as u64) << 8))?;
+            let partial = project
+                .generate_partial_from(
+                    &v.design,
+                    &module_constraints(prefix, region_of(base, prefix)),
+                )
+                .map_err(|e| WorkflowError::Jpg {
+                    module: prefix.to_string(),
+                    message: e.to_string(),
+                })?;
+            Ok((nl.name.clone(), partial))
+        })
+        .collect()
+}
+
+fn region_of(base: &BaseDesign, prefix: &str) -> Rect {
+    base.constraints
+        .region_for(&format!("{prefix}x"))
+        .expect("prefix has a region")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadflow::gen;
+
+    fn region(c0: i32, c1: i32) -> Rect {
+        Rect::new(0, c0, 15, c1) // full height of an XCV50
+    }
+
+    fn two_module_base() -> BaseDesign {
+        let modules = vec![
+            ModuleSpec {
+                prefix: "mod1/".into(),
+                netlist: gen::counter("up", 3),
+                region: region(1, 8),
+            },
+            ModuleSpec {
+                prefix: "mod2/".into(),
+                netlist: gen::parity("par", 6),
+                region: region(12, 19),
+            },
+        ];
+        build_base("base", Device::XCV50, &modules, 42).unwrap()
+    }
+
+    #[test]
+    fn base_design_is_complete_and_loadable() {
+        let base = two_module_base();
+        assert!(base.design.fully_placed());
+        assert!(base.design.fully_routed());
+        cadflow::verify_routing(&base.design).unwrap();
+        // The bitstream loads back into the same image.
+        let mut dev = bitstream::Interpreter::new(Device::XCV50);
+        dev.feed(&base.bitstream.bitstream).unwrap();
+        assert_eq!(dev.memory(), &base.memory);
+    }
+
+    #[test]
+    fn module_bits_stay_in_their_columns() {
+        let base = two_module_base();
+        // Every occupied slice of mod1 is in columns 1..=8, and mod2 in
+        // 12..=19.
+        for (inst, s) in base.design.occupied_slices() {
+            if inst.name.starts_with("mod1/") {
+                assert!((1..=8).contains(&s.tile.col), "{}", inst.name);
+            } else {
+                assert!((12..=19).contains(&s.tile.col), "{}", inst.name);
+            }
+        }
+        // Routed pips too.
+        for net in &base.design.nets {
+            let range = if net.name.starts_with("mod1/") {
+                1..=8
+            } else {
+                12..=19
+            };
+            for pip in &net.pips {
+                assert!(
+                    range.contains(&pip.loc.col),
+                    "net {} pip {} outside region",
+                    net.name,
+                    pip
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variant_library_builds_in_parallel() {
+        let base = two_module_base();
+        let variants = vec![
+            gen::counter("up", 3),
+            gen::down_counter("down", 3),
+            gen::gray_counter("gray", 3),
+        ];
+        let lib = build_variant_library(&base, "mod1/", &variants, 7).unwrap();
+        assert_eq!(lib.len(), 3);
+        let full = base.bitstream.bitstream.byte_len();
+        for (name, partial) in &lib {
+            assert!(!name.is_empty());
+            assert!(partial.bitstream.byte_len() < full / 2);
+            // Every library entry applies cleanly on the base.
+            let mut dev = bitstream::Interpreter::new(Device::XCV50);
+            dev.feed(&base.bitstream.bitstream).unwrap();
+            dev.feed(&partial.bitstream).unwrap();
+            assert_eq!(dev.memory(), &partial.memory, "library entry {name}");
+        }
+    }
+
+    #[test]
+    fn overlapping_regions_rejected() {
+        let modules = vec![
+            ModuleSpec {
+                prefix: "a/".into(),
+                netlist: gen::counter("up", 2),
+                region: region(0, 8),
+            },
+            ModuleSpec {
+                prefix: "b/".into(),
+                netlist: gen::counter("up", 2),
+                region: region(8, 15),
+            },
+        ];
+        let err = build_base("x", Device::XCV50, &modules, 1).unwrap_err();
+        assert!(matches!(err, WorkflowError::OverlappingRegions { .. }));
+    }
+
+    #[test]
+    fn variant_keeps_pads_on_base_sites() {
+        let base = two_module_base();
+        let variant =
+            implement_variant(&base, "mod1/", &gen::down_counter("down", 3), 7).unwrap();
+        // Interface instances (ports) share names with the base and must
+        // sit on identical sites.
+        for (inst, io) in variant.design.occupied_iobs() {
+            let base_inst = base
+                .design
+                .instance(&inst.name)
+                .expect("interface instance exists in base");
+            assert_eq!(
+                base_inst.placement,
+                xdl::Placement::Iob(io),
+                "pad {} moved",
+                inst.name
+            );
+        }
+        // And the XDL/UCF text round-trips.
+        let reparsed = xdl::parse(&variant.xdl).unwrap();
+        assert_eq!(reparsed, variant.design);
+        assert!(Constraints::parse(&variant.ucf).is_ok());
+    }
+}

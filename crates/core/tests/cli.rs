@@ -1,0 +1,141 @@
+//! End-to-end test of the `jpg-cli` binary: real files in a temp
+//! directory, the same way a designer would drive the tool.
+
+use cadflow::gen;
+use jpg::workflow::{build_base, implement_variant, ModuleSpec};
+use std::path::PathBuf;
+use std::process::Command;
+use virtex::Device;
+use xdl::Rect;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_jpg-cli")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jpg-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn partial_command_end_to_end() {
+    let dir = tmpdir("partial");
+    // Prepare inputs: base .bit, module .xdl/.ucf.
+    let base = build_base(
+        "cli_base",
+        Device::XCV50,
+        &[ModuleSpec {
+            prefix: "m/".into(),
+            netlist: gen::counter("up", 3),
+            region: Rect::new(0, 1, 15, 8),
+        }],
+        31,
+    )
+    .unwrap();
+    let variant = implement_variant(&base, "m/", &gen::down_counter("down", 3), 32).unwrap();
+    let base_path = dir.join("base.bit");
+    let xdl_path = dir.join("mod.xdl");
+    let ucf_path = dir.join("mod.ucf");
+    let out_path = dir.join("partial.bit");
+    let merged_path = dir.join("updated.bit");
+    std::fs::write(&base_path, base.bitstream.to_bytes()).unwrap();
+    std::fs::write(&xdl_path, &variant.xdl).unwrap();
+    std::fs::write(&ucf_path, &variant.ucf).unwrap();
+
+    // Run the tool.
+    let out = Command::new(bin())
+        .args([
+            "partial",
+            "--base",
+            base_path.to_str().unwrap(),
+            "--xdl",
+            xdl_path.to_str().unwrap(),
+            "--ucf",
+            ucf_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+            "--merge",
+            merged_path.to_str().unwrap(),
+            "--floorplan",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "cli failed: {stderr}");
+    assert!(stderr.contains("partial:"), "{stderr}");
+    assert!(stderr.contains("XCV50"), "floorplan missing: {stderr}");
+
+    // The emitted partial is a valid partial bit file that applies on the
+    // base to give exactly the merged file's state.
+    let partial = bitstream::BitFile::from_bytes(&std::fs::read(&out_path).unwrap()).unwrap();
+    assert!(partial.partial);
+    assert_eq!(partial.device, Device::XCV50);
+    let merged = bitstream::BitFile::from_bytes(&std::fs::read(&merged_path).unwrap()).unwrap();
+    assert!(!merged.partial);
+
+    let mut a = bitstream::Interpreter::new(Device::XCV50);
+    a.feed(&base.bitstream.bitstream).unwrap();
+    a.feed(&partial.bitstream).unwrap();
+    let mut b = bitstream::Interpreter::new(Device::XCV50);
+    b.feed(&merged.bitstream).unwrap();
+    assert_eq!(a.memory(), b.memory());
+
+    // `info` describes the outputs.
+    let out = Command::new(bin())
+        .args(["info", out_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("partial"), "{stdout}");
+    assert!(stdout.contains("XCV50"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_rejects_bad_inputs() {
+    let dir = tmpdir("bad");
+    // Missing args.
+    let out = Command::new(bin()).arg("partial").output().unwrap();
+    assert!(!out.status.success());
+    // Unknown subcommand.
+    let out = Command::new(bin()).arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    // info on garbage.
+    let junk = dir.join("junk.bit");
+    std::fs::write(&junk, b"not a bit file").unwrap();
+    let out = Command::new(bin())
+        .args(["info", junk.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // partial with a partial as base.
+    let partial_as_base = dir.join("p.bit");
+    let bf = bitstream::BitFile::new(
+        "p",
+        Device::XCV50,
+        true,
+        bitstream::Bitstream::from_words(vec![]),
+    );
+    std::fs::write(&partial_as_base, bf.to_bytes()).unwrap();
+    let out = Command::new(bin())
+        .args([
+            "partial",
+            "--base",
+            partial_as_base.to_str().unwrap(),
+            "--xdl",
+            "x",
+            "--ucf",
+            "y",
+            "--out",
+            "z",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("complete"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

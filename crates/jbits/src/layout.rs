@@ -1,0 +1,425 @@
+//! The configuration-bit layout: where every resource and PIP lives.
+//!
+//! Each tile owns a rectangular window of the configuration memory: the
+//! frames of its column × its 18-bit row slot. Within that window,
+//! tile-local bit `b` maps to frame `first_frame + b / 18`, frame-bit
+//! `row_slot + b % 18`:
+//!
+//! * **CLB tiles** use their CLB column and row slot `row + 1`; bits
+//!   `0..ClbResource::total_bits()` hold slice logic in canonical
+//!   [`virtex::ClbResource::all`] order, followed by one bit per PIP in
+//!   [`virtex::RoutingGraph::tile_pips`] order.
+//! * **Top/bottom IOB tiles** use the same CLB column but the pad row
+//!   slots (0 and `rows + 1`); **left/right IOB tiles** use the IOB
+//!   columns. Bits `0..PADS_PER_IOB * 7` hold pad logic, then PIPs.
+//!
+//! Budget: a CLB's window is 48 frames × 18 bits = 864 bits; slice logic
+//! uses ~110 and the switch box ~540, asserted in tests.
+
+use std::collections::HashMap;
+use virtex::config::BITS_PER_ROW;
+use virtex::{
+    BlockType, ClbResource, ConfigGeometry, Device, IobResource, Pip, RoutingGraph, TileCoord,
+    TileKind, Wire,
+};
+
+/// CAPTURE slots per CLB tile: the four flip-flops' state, written into
+/// the configuration plane by the capture facility so readback can
+/// observe live register values (slice-major order: S0.X, S0.Y, S1.X,
+/// S1.Y).
+pub const CAPTURE_BITS: usize = 4;
+
+/// An absolute configuration-bit position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitPos {
+    /// Linear frame index.
+    pub frame: usize,
+    /// Bit within the frame.
+    pub bit: usize,
+}
+
+/// Per-tile cached layout: the window plus the PIP lookup table.
+#[derive(Debug, Clone)]
+struct TileWindow {
+    first_frame: usize,
+    frame_count: usize,
+    row_slot: usize,
+    /// `(from, to) -> tile-local pip index`, sorted for binary search.
+    pips: Vec<((Wire, Wire), u32)>,
+    pip_base: usize,
+}
+
+impl TileWindow {
+    fn local_to_pos(&self, local: usize) -> BitPos {
+        let minor = local / BITS_PER_ROW;
+        assert!(
+            minor < self.frame_count,
+            "tile bit budget exceeded: local bit {local} needs minor {minor} of {}",
+            self.frame_count
+        );
+        BitPos {
+            frame: self.first_frame + minor,
+            bit: self.row_slot + local % BITS_PER_ROW,
+        }
+    }
+}
+
+/// The device-wide layout with a lazy per-tile cache.
+#[derive(Debug)]
+pub struct Layout {
+    device: Device,
+    geom: ConfigGeometry,
+    graph: RoutingGraph,
+    tiles: HashMap<TileCoord, TileWindow>,
+}
+
+impl Layout {
+    /// Build the (empty-cached) layout for `device`.
+    pub fn new(device: Device) -> Self {
+        Layout {
+            device,
+            geom: ConfigGeometry::for_device(device),
+            graph: RoutingGraph::new(device),
+            tiles: HashMap::new(),
+        }
+    }
+
+    /// The device.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// The configuration geometry.
+    pub fn geometry(&self) -> &ConfigGeometry {
+        &self.geom
+    }
+
+    /// The routing graph (shared with the router).
+    pub fn graph(&self) -> &RoutingGraph {
+        &self.graph
+    }
+
+    fn window(&mut self, tile: TileCoord) -> &TileWindow {
+        if !self.tiles.contains_key(&tile) {
+            let w = self.build_window(tile);
+            self.tiles.insert(tile, w);
+        }
+        &self.tiles[&tile]
+    }
+
+    fn build_window(&self, tile: TileCoord) -> TileWindow {
+        let kind = tile.kind(self.device);
+        let rows = self.device.geometry().clb_rows as i32;
+        let (col, row_slot, pip_base) = match kind {
+            TileKind::Clb => {
+                let major = self
+                    .geom
+                    .major_for_clb_col(tile.col as usize)
+                    .expect("CLB column major");
+                (
+                    self.geom.column(BlockType::Clb, major).expect("column"),
+                    self.geom.row_bit_offset(tile.row as usize),
+                    // Logic bits, then the four CAPTURE slots (flip-flop
+                    // state snapshots for readback), then PIPs.
+                    ClbResource::total_bits() + CAPTURE_BITS,
+                )
+            }
+            TileKind::IobTop | TileKind::IobBottom => {
+                let major = self
+                    .geom
+                    .major_for_clb_col(tile.col as usize)
+                    .expect("CLB column major");
+                let slot = if kind == TileKind::IobTop {
+                    0
+                } else {
+                    self.geom.row_bit_offset(rows as usize)
+                };
+                (
+                    self.geom.column(BlockType::Clb, major).expect("column"),
+                    slot,
+                    iob_logic_bits(),
+                )
+            }
+            TileKind::IobLeft | TileKind::IobRight => {
+                // IOB columns come after the CLB columns in major order:
+                // right first, then left.
+                let clb_cols = self.device.geometry().clb_cols as u8;
+                let major = if kind == TileKind::IobRight {
+                    clb_cols + 1
+                } else {
+                    clb_cols + 2
+                };
+                (
+                    self.geom.column(BlockType::Clb, major).expect("IOB column"),
+                    self.geom.row_bit_offset(tile.row as usize),
+                    iob_logic_bits(),
+                )
+            }
+            other => panic!("tile {tile} ({other:?}) has no configuration window"),
+        };
+        let mut pips: Vec<((Wire, Wire), u32)> = self
+            .graph
+            .tile_pips(tile)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| ((p.from, p.to), i as u32))
+            .collect();
+        pips.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        TileWindow {
+            first_frame: col.first_frame_index(),
+            frame_count: col.frame_count(),
+            row_slot,
+            pips,
+            pip_base,
+        }
+    }
+
+    /// Bit position of a slice resource in a CLB tile. The `width` bits of
+    /// the resource occupy consecutive tile-local bits.
+    pub fn clb_resource_pos(&mut self, tile: TileCoord, res: ClbResource) -> BitPos {
+        debug_assert_eq!(tile.kind(self.device), TileKind::Clb, "{tile} not a CLB");
+        let local = clb_resource_offset(res);
+        self.window(tile).local_to_pos(local)
+    }
+
+    /// Bit position of an IOB pad resource.
+    pub fn iob_resource_pos(&mut self, tile: TileCoord, pad: u8, res: IobResource) -> BitPos {
+        debug_assert!(tile.is_iob(self.device), "{tile} not an IOB tile");
+        let local = iob_resource_offset(pad, res);
+        self.window(tile).local_to_pos(local)
+    }
+
+    /// Position of bit `i` of a slice resource (multi-bit fields occupy
+    /// consecutive tile-local bits and may wrap onto the next frame).
+    pub fn clb_resource_bit(&mut self, tile: TileCoord, res: ClbResource, i: usize) -> BitPos {
+        debug_assert!(i < res.bit_width());
+        let local = clb_resource_offset(res) + i;
+        self.window(tile).local_to_pos(local)
+    }
+
+    /// Position of bit `i` of an IOB pad resource.
+    pub fn iob_resource_bit(
+        &mut self,
+        tile: TileCoord,
+        pad: u8,
+        res: IobResource,
+        i: usize,
+    ) -> BitPos {
+        debug_assert!(i < res.bit_width());
+        let local = iob_resource_offset(pad, res) + i;
+        self.window(tile).local_to_pos(local)
+    }
+
+    /// Position of the CAPTURE slot for a flip-flop: `x_ff` selects FFX
+    /// (true) or FFY.
+    pub fn capture_pos(&mut self, tile: TileCoord, slice: virtex::SliceId, x_ff: bool) -> BitPos {
+        debug_assert_eq!(tile.kind(self.device), TileKind::Clb);
+        let local =
+            ClbResource::total_bits() + slice.index() * 2 + usize::from(!x_ff);
+        self.window(tile).local_to_pos(local)
+    }
+
+    /// Bit position of a PIP's enable bit, or `None` if the PIP does not
+    /// exist in the fabric.
+    pub fn pip_pos(&mut self, pip: &Pip) -> Option<BitPos> {
+        let w = self.window(pip.loc);
+        let idx = w
+            .pips
+            .binary_search_by(|(k, _)| k.cmp(&(pip.from, pip.to)))
+            .ok()?;
+        let local = w.pip_base + w.pips[idx].1 as usize;
+        Some(self.tiles[&pip.loc].local_to_pos(local))
+    }
+
+    /// All linear frame indices belonging to `tile`'s window (the whole
+    /// column), used for column-granular partials.
+    pub fn tile_frames(&mut self, tile: TileCoord) -> std::ops::Range<usize> {
+        let w = self.window(tile);
+        w.first_frame..w.first_frame + w.frame_count
+    }
+
+    /// The tile window's frame range and per-frame bit offset of its
+    /// 18-bit row slot — lets callers scan a tile's bits without going
+    /// through per-resource lookups.
+    pub fn window_bounds(&mut self, tile: TileCoord) -> (std::ops::Range<usize>, usize) {
+        let w = self.window(tile);
+        (w.first_frame..w.first_frame + w.frame_count, w.row_slot)
+    }
+
+    /// How many cached tile windows exist (test/diagnostic aid).
+    pub fn cached_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+}
+
+/// Tile-local bit offset of a slice resource: cumulative widths in
+/// canonical order.
+fn clb_resource_offset(res: ClbResource) -> usize {
+    let mut off = 0;
+    for r in ClbResource::all() {
+        if r == res {
+            return off;
+        }
+        off += r.bit_width();
+    }
+    panic!("resource not in canonical enumeration");
+}
+
+/// Bits of pad logic per IOB tile.
+fn iob_logic_bits() -> usize {
+    virtex::routing::PADS_PER_IOB
+        * IobResource::ALL
+            .iter()
+            .map(|r| r.bit_width())
+            .sum::<usize>()
+}
+
+/// Tile-local bit offset of an IOB pad resource.
+fn iob_resource_offset(pad: u8, res: IobResource) -> usize {
+    let per_pad: usize = IobResource::ALL.iter().map(|r| r.bit_width()).sum();
+    let mut off = pad as usize * per_pad;
+    for r in IobResource::ALL {
+        if r == res {
+            return off;
+        }
+        off += r.bit_width();
+    }
+    panic!("IOB resource not in canonical enumeration");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::{SliceId, SliceResource};
+
+    #[test]
+    fn clb_window_fits_budget_everywhere() {
+        // Worst case: every CLB tile's logic + pips must fit 48 frames.
+        let mut layout = Layout::new(Device::XCV50);
+        let g = Device::XCV50.geometry();
+        for &row in &[0usize, g.clb_rows / 2, g.clb_rows - 1] {
+            for &col in &[0usize, g.clb_cols / 2, g.clb_cols - 1] {
+                let tile = TileCoord::new(row as i32, col as i32);
+                let pips = layout.graph.tile_pips(tile);
+                let total = ClbResource::total_bits() + CAPTURE_BITS + pips.len();
+                assert!(
+                    total <= 48 * BITS_PER_ROW,
+                    "{tile}: {total} bits exceed the window"
+                );
+                // Touch the last pip to exercise the assert in
+                // local_to_pos.
+                let last = pips.last().unwrap();
+                layout.pip_pos(last).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn resource_positions_are_unique_within_tile() {
+        let mut layout = Layout::new(Device::XCV50);
+        let tile = TileCoord::new(2, 3);
+        let mut seen = std::collections::HashSet::new();
+        let w = layout.window(tile).clone();
+        for res in ClbResource::all() {
+            let off = clb_resource_offset(res);
+            for i in 0..res.bit_width() {
+                let p = w.local_to_pos(off + i);
+                assert!(seen.insert(p), "bit collision at {p:?} for {res:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn capture_slots_do_not_collide_with_logic_or_pips() {
+        let mut layout = Layout::new(Device::XCV50);
+        let tile = TileCoord::new(5, 5);
+        let mut seen = std::collections::HashSet::new();
+        let w = layout.window(tile).clone();
+        for res in ClbResource::all() {
+            let off = clb_resource_offset(res);
+            for i in 0..res.bit_width() {
+                seen.insert(w.local_to_pos(off + i));
+            }
+        }
+        for slice in virtex::SliceId::ALL {
+            for x in [true, false] {
+                let p = layout.capture_pos(tile, slice, x);
+                assert!(seen.insert(p), "capture slot collides at {p:?}");
+            }
+        }
+        for pip in layout.graph().tile_pips(tile).clone() {
+            let p = layout.pip_pos(&pip).unwrap();
+            assert!(seen.insert(p), "pip collides with capture at {p:?}");
+        }
+    }
+
+    #[test]
+    fn different_tiles_use_disjoint_windows() {
+        let mut layout = Layout::new(Device::XCV50);
+        let a = TileCoord::new(0, 0);
+        let b = TileCoord::new(1, 0); // same column, next row slot
+        let c = TileCoord::new(0, 1); // different column
+        let res = ClbResource::new(SliceId::S0, SliceResource::CkInv);
+        let pa = layout.clb_resource_pos(a, res);
+        let pb = layout.clb_resource_pos(b, res);
+        let pc = layout.clb_resource_pos(c, res);
+        assert_eq!(pa.frame, pb.frame, "same column, same frames");
+        assert_ne!(pa.bit, pb.bit, "different row slots");
+        assert_ne!(pa.frame, pc.frame, "different columns");
+    }
+
+    #[test]
+    fn iob_tiles_have_windows() {
+        let mut layout = Layout::new(Device::XCV50);
+        let g = Device::XCV50.geometry();
+        for tile in [
+            TileCoord::new(-1, 3),
+            TileCoord::new(g.clb_rows as i32, 3),
+            TileCoord::new(3, -1),
+            TileCoord::new(3, g.clb_cols as i32),
+        ] {
+            let pos = layout.iob_resource_pos(tile, 2, IobResource::OutputEnable);
+            assert!(pos.frame < layout.geometry().total_frames());
+            // All pips of the tile resolve.
+            for p in layout.graph().tile_pips(tile).clone() {
+                assert!(layout.pip_pos(&p).is_some(), "{p} has no bit");
+            }
+        }
+    }
+
+    #[test]
+    fn top_iob_shares_column_with_clbs_below() {
+        let mut layout = Layout::new(Device::XCV50);
+        let top = TileCoord::new(-1, 5);
+        let clb = TileCoord::new(0, 5);
+        let iob_pos = layout.iob_resource_pos(top, 0, IobResource::InputEnable);
+        let clb_pos =
+            layout.clb_resource_pos(clb, ClbResource::new(SliceId::S0, SliceResource::CkInv));
+        let col_frames = layout.tile_frames(clb);
+        assert!(col_frames.contains(&iob_pos.frame));
+        assert!(col_frames.contains(&clb_pos.frame));
+    }
+
+    #[test]
+    fn nonexistent_pip_has_no_position() {
+        let mut layout = Layout::new(Device::XCV50);
+        let t = TileCoord::new(3, 3);
+        let bogus = Pip {
+            loc: t,
+            from: Wire::new(t, virtex::WireKind::Omux(0)),
+            to: Wire::new(t, virtex::WireKind::Omux(1)),
+        };
+        assert_eq!(layout.pip_pos(&bogus), None);
+    }
+
+    #[test]
+    fn cache_grows_lazily() {
+        let mut layout = Layout::new(Device::XCV50);
+        assert_eq!(layout.cached_tiles(), 0);
+        layout.clb_resource_pos(
+            TileCoord::new(0, 0),
+            ClbResource::new(SliceId::S0, SliceResource::CkInv),
+        );
+        assert_eq!(layout.cached_tiles(), 1);
+    }
+}

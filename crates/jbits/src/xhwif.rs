@@ -1,0 +1,42 @@
+//! The XHWIF-style hardware interface: the abstraction JBits uses to talk
+//! to a physical board, so the same code drives simulators and hardware.
+//!
+//! The `simboard` crate provides the implementation used throughout this
+//! reproduction; JPG's "download onto the FPGA" option is written against
+//! this trait, exactly as the paper's tool is written against XHWIF.
+
+use bitstream::{Bitstream, ConfigError};
+use virtex::Device;
+
+/// A board hosting one or more Virtex devices. Multi-FPGA boards expose
+/// a selection mechanism, mirroring XHWIF's `getDeviceCount`; all
+/// configuration traffic goes to the currently selected device.
+pub trait Xhwif {
+    /// The currently selected device on the board.
+    fn device(&self) -> Device;
+
+    /// Number of devices on the board (XHWIF `getDeviceCount`).
+    fn device_count(&self) -> usize {
+        1
+    }
+
+    /// Select device `index` as the target of subsequent operations.
+    /// Returns `false` when the index is out of range. Single-device
+    /// boards accept only index 0.
+    fn select_device(&mut self, index: usize) -> bool {
+        index == 0
+    }
+
+    /// Push a (full or partial) bitstream through the configuration port.
+    fn set_configuration(&mut self, bits: &Bitstream) -> Result<(), ConfigError>;
+
+    /// Read the whole configuration back (readback path).
+    fn get_configuration(&mut self) -> Result<Vec<u32>, ConfigError>;
+
+    /// Step the user clock `cycles` times.
+    fn clock_step(&mut self, cycles: u64);
+
+    /// Assert the board-level reset (clears user state, keeps
+    /// configuration).
+    fn reset(&mut self);
+}

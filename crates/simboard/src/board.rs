@@ -1,0 +1,198 @@
+//! [`SimBoard`]: the complete simulated board behind [`jbits::Xhwif`].
+//!
+//! Owns a SelectMAP port and lazily (re)decodes the fabric after every
+//! configuration — including partial reconfigurations, where flip-flop
+//! state *outside* the reconfigured region survives, as it does on real
+//! hardware performing dynamic partial reconfiguration.
+
+use crate::fabric::{DecodeError, FabricModel, FabricSim};
+use crate::port::SelectMap;
+use bitstream::{Bitstream, ConfigError};
+use jbits::Xhwif;
+use std::collections::HashMap;
+use std::time::Duration;
+use virtex::{Device, IobCoord, TileCoord};
+
+/// A simulated single-FPGA board.
+#[derive(Debug)]
+pub struct SimBoard {
+    port: SelectMap,
+    sim: Option<FabricSim>,
+    /// Sticky external pad drives, reapplied across reconfigurations.
+    pad_drives: HashMap<(TileCoord, u8), bool>,
+    user_clocks: u64,
+}
+
+impl SimBoard {
+    /// A powered-up board with a blank `device`.
+    pub fn new(device: Device) -> Self {
+        SimBoard {
+            port: SelectMap::new(device),
+            sim: None,
+            pad_drives: HashMap::new(),
+            user_clocks: 0,
+        }
+    }
+
+    /// Rebuild the fabric simulation from the current configuration,
+    /// carrying FF state over from the previous model where slices
+    /// persist (partial-reconfiguration semantics).
+    fn redecode(&mut self) -> Result<(), DecodeError> {
+        let model = FabricModel::decode(self.port.interpreter().memory())?;
+        let mut next = FabricSim::new(model)?;
+        if let Some(prev) = &self.sim {
+            next.carry_state_from(prev);
+        }
+        for (&(tile, pad), &v) in &self.pad_drives {
+            next.set_pad(tile, pad, v);
+        }
+        next.settle()?;
+        self.sim = Some(next);
+        Ok(())
+    }
+
+    /// The live fabric simulation (None until something configures).
+    pub fn fabric(&self) -> Option<&FabricSim> {
+        self.sim.as_ref()
+    }
+
+    /// Drive an input pad.
+    pub fn set_pad(&mut self, io: IobCoord, value: bool) {
+        self.pad_drives.insert((io.tile, io.pad), value);
+        if let Some(sim) = &mut self.sim {
+            sim.set_pad(io.tile, io.pad, value);
+            let _ = sim.settle();
+        }
+    }
+
+    /// Read an output pad.
+    pub fn get_pad(&self, io: IobCoord) -> bool {
+        self.sim
+            .as_ref()
+            .map(|s| s.get_pad(io.tile, io.pad))
+            .unwrap_or(false)
+    }
+
+    /// Cumulative configuration time (SelectMAP model).
+    pub fn config_time(&self) -> Duration {
+        self.port.total_config_time()
+    }
+
+    /// Bytes pushed through the configuration port.
+    pub fn config_bytes(&self) -> u64 {
+        self.port.bytes_loaded()
+    }
+
+    /// User clock cycles stepped so far.
+    pub fn user_clocks(&self) -> u64 {
+        self.user_clocks
+    }
+
+    /// The configuration port (for readback etc.).
+    pub fn port_mut(&mut self) -> &mut SelectMap {
+        &mut self.port
+    }
+
+    /// Inject a single-event upset: flip one configuration bit in place,
+    /// exactly as ionizing radiation would, and let the (changed) circuit
+    /// keep running with its flip-flop state intact. Returns `false` for
+    /// an out-of-range position or if the flip produces an illegal
+    /// configuration (in which case the bit is restored).
+    pub fn inject_upset(&mut self, frame: usize, bit: usize) -> bool {
+        if frame >= self.port.interpreter().memory().frame_count()
+            || bit >= self.port.interpreter().memory().geometry().frame_bits()
+        {
+            return false;
+        }
+        let mem = self.port.interpreter_mut().memory_mut();
+        let old = mem.get_bit(frame, bit);
+        mem.set_bit(frame, bit, !old);
+        if self.redecode().is_err() {
+            // e.g. the flip created wire contention; real silicon would
+            // be damaged — we restore instead.
+            let mem = self.port.interpreter_mut().memory_mut();
+            mem.set_bit(frame, bit, old);
+            let _ = self.redecode();
+            return false;
+        }
+        true
+    }
+
+    /// The CAPTURE facility: snapshot every live flip-flop value into its
+    /// capture slot in the configuration plane, so readback (or
+    /// [`jbits::Jbits::get_captured_ff`] over [`Xhwif::get_configuration`])
+    /// can observe the running design's state.
+    pub fn capture(&mut self) {
+        let Some(sim) = &self.sim else { return };
+        let states = sim.ff_states();
+        let mut jb = jbits::Jbits::from_memory(self.port.interpreter().memory().clone());
+        for (tile, slice, x_ff, value) in states {
+            jb.set_captured_ff(tile, slice, x_ff, value);
+        }
+        let words: Vec<u32> = jb.memory().as_words().to_vec();
+        self.port.interpreter_mut().memory_mut().load_words(&words);
+    }
+}
+
+impl Xhwif for SimBoard {
+    fn device(&self) -> Device {
+        self.port.device()
+    }
+
+    fn set_configuration(&mut self, bits: &Bitstream) -> Result<(), ConfigError> {
+        self.port.load(bits)?;
+        // Surface decode problems as configuration failures: on real
+        // hardware a contending configuration damages the part.
+        self.redecode()
+            .map_err(|e| ConfigError::InvalidConfiguration(e.to_string()))
+    }
+
+    fn get_configuration(&mut self) -> Result<Vec<u32>, ConfigError> {
+        Ok(self
+            .port
+            .interpreter()
+            .memory()
+            .as_words()
+            .to_vec())
+    }
+
+    fn clock_step(&mut self, cycles: u64) {
+        if let Some(sim) = &mut self.sim {
+            for _ in 0..cycles {
+                let _ = sim.clock();
+            }
+        }
+        self.user_clocks += cycles;
+    }
+
+    fn reset(&mut self) {
+        if let Some(sim) = &mut self.sim {
+            sim.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::ConfigMemory;
+
+    #[test]
+    fn blank_board_reads_low_pads() {
+        let b = SimBoard::new(Device::XCV50);
+        assert!(!b.get_pad(IobCoord::new(TileCoord::new(-1, 0), 0)));
+        assert_eq!(b.config_bytes(), 0);
+    }
+
+    #[test]
+    fn configure_then_query() {
+        let mem = ConfigMemory::new(Device::XCV50);
+        let bs = bitstream::full_bitstream(&mem);
+        let mut b = SimBoard::new(Device::XCV50);
+        b.set_configuration(&bs).unwrap();
+        assert!(b.fabric().is_some());
+        assert!(b.config_time() > Duration::ZERO);
+        let cfg = b.get_configuration().unwrap();
+        assert_eq!(cfg.len(), mem.as_words().len());
+    }
+}

@@ -1,0 +1,132 @@
+//! The SelectMAP configuration port: the byte-wide interface Virtex
+//! boards expose, with its timing model.
+//!
+//! SelectMAP accepts one byte per CCLK cycle. At the 50 MHz the paper-era
+//! boards ran, a bitstream of *N* bytes takes *N* / 50 MHz to download —
+//! the entire basis of "partial bitstreams reconfigure faster".
+
+use bitstream::{Bitstream, ConfigError, Interpreter};
+use std::time::Duration;
+use virtex::Device;
+
+/// Configuration clock frequency of the modeled port.
+pub const SELECTMAP_HZ: u64 = 50_000_000;
+
+/// A SelectMAP port wrapping the device-side packet interpreter and
+/// keeping cumulative timing statistics.
+#[derive(Debug, Clone)]
+pub struct SelectMap {
+    interp: Interpreter,
+    bytes_loaded: u64,
+    downloads: u64,
+}
+
+impl SelectMap {
+    /// A port attached to a blank `device`.
+    pub fn new(device: Device) -> Self {
+        SelectMap {
+            interp: Interpreter::new(device),
+            bytes_loaded: 0,
+            downloads: 0,
+        }
+    }
+
+    /// The device behind the port.
+    pub fn device(&self) -> Device {
+        self.interp.device()
+    }
+
+    /// Push a bitstream through the port.
+    pub fn load(&mut self, bs: &Bitstream) -> Result<(), ConfigError> {
+        self.bytes_loaded += bs.byte_len() as u64;
+        self.downloads += 1;
+        self.interp.feed(bs)
+    }
+
+    /// Cumulative bytes pushed through the port.
+    pub fn bytes_loaded(&self) -> u64 {
+        self.bytes_loaded
+    }
+
+    /// Number of load operations.
+    pub fn downloads(&self) -> u64 {
+        self.downloads
+    }
+
+    /// Cumulative configuration time under the byte-per-cycle model.
+    pub fn total_config_time(&self) -> Duration {
+        download_time(self.bytes_loaded as usize)
+    }
+
+    /// The interpreter (device-side state).
+    pub fn interpreter(&self) -> &Interpreter {
+        &self.interp
+    }
+
+    /// Mutable access to the interpreter (for readback).
+    pub fn interpreter_mut(&mut self) -> &mut Interpreter {
+        &mut self.interp
+    }
+}
+
+/// Download time for `bytes` under the SelectMAP model.
+pub fn download_time(bytes: usize) -> Duration {
+    Duration::from_nanos(bytes as u64 * 1_000_000_000 / SELECTMAP_HZ)
+}
+
+/// TCK frequency of the modeled JTAG port.
+pub const JTAG_HZ: u64 = 33_000_000;
+
+/// Download time for `bytes` over JTAG (1 bit per TCK): the slow path
+/// boards fall back to, ~12x worse than SelectMAP — which is why paper-era
+/// RC systems cared so much about bitstream size.
+pub fn jtag_download_time(bytes: usize) -> Duration {
+    Duration::from_nanos(bytes as u64 * 8 * 1_000_000_000 / JTAG_HZ)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitstream::full_bitstream;
+    use virtex::ConfigMemory;
+
+    #[test]
+    fn timing_is_proportional_to_bytes() {
+        assert_eq!(download_time(50_000_000), Duration::from_secs(1));
+        assert_eq!(download_time(0), Duration::ZERO);
+        let t1 = download_time(1000);
+        let t3 = download_time(3000);
+        assert_eq!(t3, t1 * 3);
+    }
+
+    #[test]
+    fn jtag_is_slower_than_selectmap() {
+        let b = 100_000;
+        assert!(jtag_download_time(b) > download_time(b) * 10);
+        assert_eq!(jtag_download_time(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn port_accumulates_stats() {
+        let mem = ConfigMemory::new(Device::XCV50);
+        let bs = full_bitstream(&mem);
+        let mut port = SelectMap::new(Device::XCV50);
+        port.load(&bs).unwrap();
+        port.load(&bs).unwrap();
+        assert_eq!(port.downloads(), 2);
+        assert_eq!(port.bytes_loaded(), 2 * bs.byte_len() as u64);
+        assert!(port.total_config_time() > Duration::ZERO);
+        assert!(port.interpreter().started());
+    }
+
+    #[test]
+    fn full_download_times_match_paper_era_magnitudes() {
+        // A paper-era full Virtex bitstream is hundreds of KB and loads
+        // in a handful of milliseconds at 50 MHz byte-wide.
+        let mem = ConfigMemory::new(Device::XCV300);
+        let bs = full_bitstream(&mem);
+        let t = download_time(bs.byte_len());
+        assert!(t > Duration::from_micros(500), "{t:?}");
+        assert!(t < Duration::from_millis(50), "{t:?}");
+    }
+}

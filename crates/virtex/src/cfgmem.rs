@@ -1,0 +1,210 @@
+//! The configuration memory image: every frame of a device as addressable
+//! words and bits.
+//!
+//! `ConfigMemory` is the in-memory mirror of a configured device that both
+//! `bitgen` (writing) and readback (reading) operate on, and the substrate
+//! under the JBits-style resource API.
+
+use crate::config::{ConfigGeometry, FrameAddress};
+use crate::family::Device;
+use serde::{Deserialize, Serialize};
+
+/// A full configuration-memory image for one device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigMemory {
+    geometry: ConfigGeometry,
+    /// `total_frames * frame_words` words, frame-major.
+    words: Vec<u32>,
+}
+
+impl ConfigMemory {
+    /// An all-zero (erased) configuration for `device`.
+    pub fn new(device: Device) -> Self {
+        let geometry = ConfigGeometry::for_device(device);
+        let words = vec![0; geometry.total_words()];
+        ConfigMemory { geometry, words }
+    }
+
+    /// The device this image configures.
+    pub fn device(&self) -> Device {
+        self.geometry.device()
+    }
+
+    /// The configuration geometry.
+    pub fn geometry(&self) -> &ConfigGeometry {
+        &self.geometry
+    }
+
+    /// Frame length in words.
+    pub fn frame_words(&self) -> usize {
+        self.geometry.frame_words()
+    }
+
+    /// Number of frames.
+    pub fn frame_count(&self) -> usize {
+        self.geometry.total_frames()
+    }
+
+    /// Read-only view of frame `idx` (linear index).
+    pub fn frame(&self, idx: usize) -> &[u32] {
+        let fw = self.frame_words();
+        &self.words[idx * fw..(idx + 1) * fw]
+    }
+
+    /// Mutable view of frame `idx`.
+    pub fn frame_mut(&mut self, idx: usize) -> &mut [u32] {
+        let fw = self.frame_words();
+        &mut self.words[idx * fw..(idx + 1) * fw]
+    }
+
+    /// Read-only view of the frame at `far`, if the address is valid.
+    pub fn frame_at(&self, far: FrameAddress) -> Option<&[u32]> {
+        self.geometry.frame_index(far).map(|i| self.frame(i))
+    }
+
+    /// Overwrite the frame at `far` with `data` (must be exactly one frame
+    /// long). Returns `false` when the address is invalid.
+    pub fn write_frame(&mut self, far: FrameAddress, data: &[u32]) -> bool {
+        assert_eq!(data.len(), self.frame_words(), "frame length mismatch");
+        match self.geometry.frame_index(far) {
+            Some(i) => {
+                self.frame_mut(i).copy_from_slice(data);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Get a single configuration bit. `bit` addresses the frame's bit
+    /// space, MSB-free: bit `b` lives in word `b / 32`, position `b % 32`.
+    pub fn get_bit(&self, frame: usize, bit: usize) -> bool {
+        let w = self.frame(frame)[bit / 32];
+        (w >> (bit % 32)) & 1 == 1
+    }
+
+    /// Set a single configuration bit.
+    pub fn set_bit(&mut self, frame: usize, bit: usize, value: bool) {
+        let word = &mut self.frame_mut(frame)[bit / 32];
+        if value {
+            *word |= 1 << (bit % 32);
+        } else {
+            *word &= !(1 << (bit % 32));
+        }
+    }
+
+    /// Read a little-endian field of `width <= 32` bits starting at
+    /// (`frame`, `bit`), staying within the frame.
+    pub fn get_field(&self, frame: usize, bit: usize, width: usize) -> u32 {
+        debug_assert!(width <= 32);
+        let mut v = 0u32;
+        for i in 0..width {
+            if self.get_bit(frame, bit + i) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    /// Write a little-endian field of `width <= 32` bits.
+    pub fn set_field(&mut self, frame: usize, bit: usize, width: usize, value: u32) {
+        debug_assert!(width <= 32);
+        for i in 0..width {
+            self.set_bit(frame, bit + i, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Linear indices of frames that differ between `self` and `other`
+    /// (same device required).
+    pub fn diff_frames(&self, other: &ConfigMemory) -> Vec<usize> {
+        assert_eq!(self.device(), other.device(), "diff across devices");
+        (0..self.frame_count())
+            .filter(|&i| self.frame(i) != other.frame(i))
+            .collect()
+    }
+
+    /// The whole image as a flat word slice (frame-major).
+    pub fn as_words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Replace the whole image from a flat word slice.
+    pub fn load_words(&mut self, words: &[u32]) {
+        assert_eq!(words.len(), self.words.len(), "image length mismatch");
+        self.words.copy_from_slice(words);
+    }
+
+    /// Reset to the erased (all-zero) state.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits in the whole image (a cheap occupancy proxy used
+    /// in tests and benches).
+    pub fn popcount(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BlockType;
+
+    #[test]
+    fn starts_erased() {
+        let m = ConfigMemory::new(Device::XCV50);
+        assert_eq!(m.popcount(), 0);
+        assert!(m.as_words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn bit_and_field_roundtrip() {
+        let mut m = ConfigMemory::new(Device::XCV50);
+        m.set_bit(10, 100, true);
+        assert!(m.get_bit(10, 100));
+        assert!(!m.get_bit(10, 101));
+        assert!(!m.get_bit(11, 100));
+        m.set_field(3, 40, 16, 0xBEEF);
+        assert_eq!(m.get_field(3, 40, 16), 0xBEEF);
+        // Overwrite narrower field.
+        m.set_field(3, 40, 16, 0x0001);
+        assert_eq!(m.get_field(3, 40, 16), 0x0001);
+    }
+
+    #[test]
+    fn field_spanning_word_boundary() {
+        let mut m = ConfigMemory::new(Device::XCV50);
+        m.set_field(0, 28, 8, 0xA5);
+        assert_eq!(m.get_field(0, 28, 8), 0xA5);
+        assert_eq!(m.get_field(0, 28, 4), 0x5);
+        assert_eq!(m.get_field(0, 32, 4), 0xA);
+    }
+
+    #[test]
+    fn frame_write_and_diff() {
+        let mut a = ConfigMemory::new(Device::XCV100);
+        let b = ConfigMemory::new(Device::XCV100);
+        assert!(a.diff_frames(&b).is_empty());
+        let far = FrameAddress::new(BlockType::Clb, 2, 5);
+        let data = vec![0xDEAD_BEEF; a.frame_words()];
+        assert!(a.write_frame(far, &data));
+        let idx = a.geometry().frame_index(far).unwrap();
+        assert_eq!(a.diff_frames(&b), vec![idx]);
+        assert_eq!(a.frame_at(far).unwrap(), &data[..]);
+        // Invalid minor rejected.
+        let bad = FrameAddress::new(BlockType::Clb, 0, 200);
+        assert!(!a.write_frame(bad, &data));
+    }
+
+    #[test]
+    fn load_words_roundtrip() {
+        let mut a = ConfigMemory::new(Device::XCV50);
+        a.set_bit(7, 7, true);
+        let snapshot: Vec<u32> = a.as_words().to_vec();
+        let mut b = ConfigMemory::new(Device::XCV50);
+        b.load_words(&snapshot);
+        assert_eq!(a, b);
+        b.clear();
+        assert_eq!(b.popcount(), 0);
+    }
+}

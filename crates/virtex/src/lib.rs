@@ -1,0 +1,55 @@
+//! # virtex — a Virtex-class FPGA device architecture model
+//!
+//! This crate models the parts of the Xilinx Virtex (XCV) architecture that
+//! matter for *configuration*: the logic fabric geometry (CLB array, slices,
+//! LUTs, IOBs, block RAM), the routing fabric (wires and programmable
+//! interconnect points), and — most importantly for the JPG reproduction —
+//! the **frame-oriented configuration memory** with its column/frame (FAR)
+//! addressing scheme. Virtex devices are reconfigured in units of whole
+//! *frames*, each frame spanning a full column of the die; partial
+//! reconfiguration is therefore column-granular, which is exactly the
+//! property the JPG tool exploits.
+//!
+//! The model follows the publicly documented structure of the Virtex
+//! configuration architecture (XAPP151): per-column frame counts, a frame
+//! length derived from the number of CLB rows, and a major/minor frame
+//! address ordering that starts at the center clock column and alternates
+//! outwards. Intra-frame bit positions for individual resources are our own
+//! deterministic layout (defined in the `jbits` crate); every size and time
+//! ratio reported by the paper is independent of that layout.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use virtex::{Device, FrameAddress, BlockType};
+//!
+//! let dev = Device::XCV100;
+//! let geo = dev.geometry();
+//! assert_eq!((geo.clb_rows, geo.clb_cols), (20, 30));
+//!
+//! // Walk the configuration columns and total the frames.
+//! let cfg = dev.config_geometry();
+//! let total: usize = cfg.columns().map(|c| c.frame_count()).sum();
+//! assert_eq!(total, cfg.total_frames());
+//!
+//! // FAR addressing round-trips through the linear frame index.
+//! let far = FrameAddress::new(BlockType::Clb, 3, 7);
+//! let idx = cfg.frame_index(far).unwrap();
+//! assert_eq!(cfg.frame_address(idx), Some(far));
+//! ```
+
+pub mod bram;
+pub mod cfgmem;
+pub mod config;
+pub mod family;
+pub mod grid;
+pub mod resources;
+pub mod routing;
+
+pub use bram::{BramCoord, BRAM_BITS};
+pub use cfgmem::ConfigMemory;
+pub use config::{BlockType, ColumnKind, ConfigColumn, ConfigGeometry, FrameAddress};
+pub use family::{Device, Geometry};
+pub use grid::{IobCoord, SliceCoord, SliceId, TileCoord, TileKind};
+pub use resources::{ClbResource, IobResource, LutId, MuxSetting, ResourceValue, SliceResource};
+pub use routing::{Dir, Pip, RoutingGraph, SlicePin, Wire, WireKind};

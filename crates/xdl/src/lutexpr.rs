@@ -1,0 +1,277 @@
+//! `#LUT:` equation strings.
+//!
+//! XDL expresses LUT contents as boolean equations over the four inputs
+//! `A1..A4`, e.g. `D=(A1@A4)` in the paper's sample. Operators, tightest
+//! first: `~` (NOT), `*` (AND), `@` (XOR), `+` (OR); constants `0`/`1`;
+//! parentheses. [`expr_to_truth`] evaluates an equation to the 16-bit
+//! truth table a JBits call writes (bit *i* = output when the input
+//! pattern is *i*, `A1` the least-significant input); [`truth_to_expr`]
+//! prints a canonical sum-of-products equation for any table, so the two
+//! directions round-trip semantically.
+
+use std::fmt;
+
+/// Errors from equation parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LutExprError {
+    /// Unexpected character.
+    UnexpectedChar(char),
+    /// Input name other than `A1..A4`.
+    BadInput(String),
+    /// Expression ended unexpectedly.
+    UnexpectedEnd,
+    /// Trailing garbage after a complete expression.
+    TrailingInput(String),
+    /// Missing the `D=` prefix.
+    MissingAssignment,
+}
+
+impl fmt::Display for LutExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LutExprError::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            LutExprError::BadInput(s) => write!(f, "bad LUT input {s:?} (expected A1..A4)"),
+            LutExprError::UnexpectedEnd => write!(f, "unexpected end of equation"),
+            LutExprError::TrailingInput(s) => write!(f, "trailing input {s:?}"),
+            LutExprError::MissingAssignment => write!(f, "missing 'D=' prefix"),
+        }
+    }
+}
+
+impl std::error::Error for LutExprError {}
+
+/// A recursive-descent parser producing truth tables directly: every
+/// sub-expression is represented as its 16-bit table, so evaluation and
+/// parsing are one pass.
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+/// Truth table of input `An` (n in 1..=4): bit `i` set iff bit `n-1` of
+/// `i` is set.
+fn input_table(n: u32) -> u16 {
+    let mut t = 0u16;
+    for i in 0..16u32 {
+        if (i >> (n - 1)) & 1 == 1 {
+            t |= 1 << i;
+        }
+    }
+    t
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            chars: s.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.next()
+    }
+
+    // or := xor ('+' xor)*
+    fn or(&mut self) -> Result<u16, LutExprError> {
+        let mut t = self.xor()?;
+        while self.peek() == Some('+') {
+            self.bump();
+            t |= self.xor()?;
+        }
+        Ok(t)
+    }
+
+    // xor := and ('@' and)*
+    fn xor(&mut self) -> Result<u16, LutExprError> {
+        let mut t = self.and()?;
+        while self.peek() == Some('@') {
+            self.bump();
+            t ^= self.and()?;
+        }
+        Ok(t)
+    }
+
+    // and := unary ('*' unary)*
+    fn and(&mut self) -> Result<u16, LutExprError> {
+        let mut t = self.unary()?;
+        while self.peek() == Some('*') {
+            self.bump();
+            t &= self.unary()?;
+        }
+        Ok(t)
+    }
+
+    // unary := '~' unary | atom
+    fn unary(&mut self) -> Result<u16, LutExprError> {
+        if self.peek() == Some('~') {
+            self.bump();
+            return Ok(!self.unary()?);
+        }
+        self.atom()
+    }
+
+    // atom := '(' or ')' | 'A' digit | '0' | '1'
+    fn atom(&mut self) -> Result<u16, LutExprError> {
+        match self.bump() {
+            Some('(') => {
+                let t = self.or()?;
+                match self.bump() {
+                    Some(')') => Ok(t),
+                    Some(c) => Err(LutExprError::UnexpectedChar(c)),
+                    None => Err(LutExprError::UnexpectedEnd),
+                }
+            }
+            Some('A') => match self.chars.next() {
+                Some(d @ '1'..='4') => Ok(input_table(d as u32 - '0' as u32)),
+                Some(d) => Err(LutExprError::BadInput(format!("A{d}"))),
+                None => Err(LutExprError::UnexpectedEnd),
+            },
+            Some('0') => Ok(0),
+            Some('1') => Ok(0xFFFF),
+            Some(c) => Err(LutExprError::UnexpectedChar(c)),
+            None => Err(LutExprError::UnexpectedEnd),
+        }
+    }
+}
+
+/// Evaluate a `#LUT:` value (with or without the leading `#LUT:` and
+/// `D=`) to its 16-bit truth table.
+pub fn expr_to_truth(s: &str) -> Result<u16, LutExprError> {
+    let s = s.strip_prefix("#LUT:").unwrap_or(s);
+    let s = s.trim();
+    let body = s
+        .strip_prefix("D=")
+        .or_else(|| s.strip_prefix("D ="))
+        .ok_or(LutExprError::MissingAssignment)?;
+    let mut p = Parser::new(body);
+    let t = p.or()?;
+    p.skip_ws();
+    let rest: String = p.chars.collect();
+    if rest.is_empty() {
+        Ok(t)
+    } else {
+        Err(LutExprError::TrailingInput(rest))
+    }
+}
+
+/// Print a canonical equation for `table`: constants for the trivial
+/// tables, otherwise a sum of minterm products. The result always parses
+/// back to the same table.
+pub fn truth_to_expr(table: u16) -> String {
+    match table {
+        0 => return "#LUT:D=0".to_string(),
+        0xFFFF => return "#LUT:D=1".to_string(),
+        _ => {}
+    }
+    let mut terms = Vec::new();
+    for i in 0..16u16 {
+        if table & (1 << i) == 0 {
+            continue;
+        }
+        let lits: Vec<String> = (0..4)
+            .map(|b| {
+                if (i >> b) & 1 == 1 {
+                    format!("A{}", b + 1)
+                } else {
+                    format!("~A{}", b + 1)
+                }
+            })
+            .collect();
+        terms.push(format!("({})", lits.join("*")));
+    }
+    format!("#LUT:D={}", terms.join("+"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_xor_of_a1_a4() {
+        let t = expr_to_truth("#LUT:D=(A1@A4)").unwrap();
+        for i in 0..16u16 {
+            let a1 = i & 1;
+            let a4 = (i >> 3) & 1;
+            assert_eq!((t >> i) & 1, a1 ^ a4, "pattern {i}");
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // ~ binds tighter than *, * tighter than @, @ tighter than +.
+        let t = expr_to_truth("D=~A1*A2+A3").unwrap();
+        for i in 0..16u16 {
+            let (a1, a2, a3) = (i & 1, (i >> 1) & 1, (i >> 2) & 1);
+            let expect = ((1 - a1) & a2) | a3;
+            assert_eq!((t >> i) & 1, expect, "pattern {i}");
+        }
+        let t = expr_to_truth("D=A1@A2*A3").unwrap();
+        for i in 0..16u16 {
+            let (a1, a2, a3) = (i & 1, (i >> 1) & 1, (i >> 2) & 1);
+            assert_eq!((t >> i) & 1, a1 ^ (a2 & a3), "pattern {i}");
+        }
+    }
+
+    #[test]
+    fn constants_and_parens() {
+        assert_eq!(expr_to_truth("D=0").unwrap(), 0);
+        assert_eq!(expr_to_truth("D=1").unwrap(), 0xFFFF);
+        assert_eq!(
+            expr_to_truth("D=(A1+A2)*(A3+A4)").unwrap(),
+            (input(1) | input(2)) & (input(3) | input(4))
+        );
+    }
+
+    fn input(n: u32) -> u16 {
+        super::input_table(n)
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(expr_to_truth("A1@A2"), Err(LutExprError::MissingAssignment));
+        assert!(matches!(
+            expr_to_truth("D=A5"),
+            Err(LutExprError::BadInput(_))
+        ));
+        assert!(matches!(
+            expr_to_truth("D=(A1"),
+            Err(LutExprError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            expr_to_truth("D=A1)"),
+            Err(LutExprError::TrailingInput(_))
+        ));
+        assert!(matches!(
+            expr_to_truth("D=&"),
+            Err(LutExprError::UnexpectedChar('&'))
+        ));
+    }
+
+    #[test]
+    fn truth_to_expr_roundtrips_exhaustively() {
+        // All 65536 tables round-trip through the printer and parser.
+        for t in 0..=u16::MAX {
+            let s = truth_to_expr(t);
+            assert_eq!(expr_to_truth(&s), Ok(t), "table {t:#06x} via {s}");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(
+            expr_to_truth("D= ( A1 @ A4 )").unwrap(),
+            expr_to_truth("D=(A1@A4)").unwrap()
+        );
+    }
+}

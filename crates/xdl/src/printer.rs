@@ -1,0 +1,121 @@
+//! [`Design`] → XDL text printer (the `ncd` → `.xdl` direction of the
+//! vendor `xdl` utility).
+
+use crate::design::{Design, InstanceKind, NetKind, Placement};
+use std::fmt::Write;
+
+/// Render a design database as XDL text. The output parses back with
+/// [`crate::parse`] to an equal `Design`.
+pub fn print(design: &Design) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} on {}", design.name, design.device);
+    let _ = writeln!(out, "design \"{}\" {} v3.1 ;", design.name, design.device);
+    for inst in &design.instances {
+        let _ = write!(out, "inst \"{}\" \"{}\" ,", inst.name, inst.kind.xdl_name());
+        match (&inst.placement, inst.kind) {
+            (Placement::Unplaced, _) => {
+                let _ = write!(out, " unplaced");
+            }
+            (Placement::Slice(s), InstanceKind::Slice) => {
+                let _ = write!(out, " placed {} {}", s.tile, s.site_name());
+            }
+            (Placement::Iob(io), InstanceKind::Iob) => {
+                let _ = write!(out, " placed {} {}", io.tile, io.site_name());
+            }
+            // A mismatched placement is a database bug; print as unplaced
+            // rather than emit unparseable text.
+            _ => {
+                let _ = write!(out, " unplaced");
+            }
+        }
+        if !inst.cfg.is_empty() {
+            let tokens: Vec<String> = inst.cfg.iter().map(|e| e.to_token()).collect();
+            let _ = write!(out, " ,\n  cfg \"{}\"", tokens.join(" "));
+        }
+        let _ = writeln!(out, " ;");
+    }
+    for net in &design.nets {
+        let kind = match net.kind {
+            NetKind::Wire => "",
+            NetKind::Clock => " clock",
+            NetKind::Power => " power",
+        };
+        let _ = writeln!(out, "net \"{}\"{} ,", net.name, kind);
+        if let Some(op) = &net.outpin {
+            let _ = writeln!(out, "  outpin \"{}\" {} ,", op.inst, op.pin);
+        }
+        for ip in &net.inpins {
+            let _ = writeln!(out, "  inpin \"{}\" {} ,", ip.inst, ip.pin);
+        }
+        for pip in &net.pips {
+            let _ = writeln!(
+                out,
+                "  pip {} {} -> {} ,",
+                pip.loc,
+                pip.from.name(),
+                pip.to.name()
+            );
+        }
+        let _ = writeln!(out, "  ;");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{CfgEntry, Instance, Net, PinRef};
+    use crate::parser::parse;
+    use virtex::{Device, Pip, SliceCoord, SliceId, TileCoord, Wire, WireKind};
+
+    fn sample() -> Design {
+        let mut d = Design::new("roundtrip", Device::XCV50);
+        d.instances.push(Instance {
+            name: "a".into(),
+            kind: InstanceKind::Slice,
+            placement: Placement::Slice(SliceCoord::new(TileCoord::new(4, 7), SliceId::S1)),
+            cfg: vec![
+                CfgEntry::new("F", "lutf", "#LUT:D=(A1*A2)"),
+                CfgEntry::new("FFX", "reg_a", "#FF"),
+            ],
+        });
+        d.instances.push(Instance {
+            name: "b".into(),
+            kind: InstanceKind::Slice,
+            placement: Placement::Unplaced,
+            cfg: vec![],
+        });
+        let t = TileCoord::new(4, 7);
+        let mut n = Net::new("n1", NetKind::Wire);
+        n.outpin = Some(PinRef::new("a", "X"));
+        n.inpins.push(PinRef::new("a", "F1"));
+        n.pips.push(Pip {
+            loc: t,
+            from: Wire::new(t, WireKind::Omux(0)),
+            to: Wire::new(
+                t,
+                WireKind::Single {
+                    dir: virtex::Dir::East,
+                    idx: 0,
+                },
+            ),
+        });
+        d.nets.push(n);
+        d.nets.push(Net::new("gnd", NetKind::Power));
+        d
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let d = sample();
+        let text = print(&d);
+        let d2 = parse(&text).expect("printed XDL parses");
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn empty_design_roundtrips() {
+        let d = Design::new("empty", Device::XCV1000);
+        assert_eq!(parse(&print(&d)).unwrap(), d);
+    }
+}

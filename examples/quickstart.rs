@@ -1,0 +1,117 @@
+//! Quickstart: the complete JPG workflow on one reconfigurable region.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Phase 1 builds a floorplanned base design (an up-counter in columns
+//! 2–9 of an XCV50) and its complete bitstream. Phase 2 re-implements the
+//! region as a down-counter. JPG turns the module's XDL + UCF into a
+//! partial bitstream, which is downloaded into a live simulated board —
+//! swapping the module while the device keeps running.
+
+use cadflow::gen;
+use jbits::Xhwif;
+use jpg::workflow::{build_base, implement_variant, ModuleSpec};
+use jpg::JpgProject;
+use simboard::SimBoard;
+use virtex::Device;
+use xdl::{Placement, Rect};
+
+fn main() {
+    let device = Device::XCV50;
+
+    // ---- Phase 1: the base design -------------------------------------
+    println!("Phase 1: implementing the base design on {device}…");
+    let modules = vec![ModuleSpec {
+        prefix: "mod1/".into(),
+        netlist: gen::counter("up", 4),
+        region: Rect::new(0, 2, 15, 9),
+    }];
+    let base = build_base("quickstart", device, &modules, 1).expect("base design");
+    let report = &base.reports[0];
+    println!(
+        "  {} LUTs, {} slices, {} nets; map {:?}, place {:?}, route {:?}",
+        report.luts,
+        report.slices,
+        report.nets,
+        report.map_time,
+        report.place_time,
+        report.route_time
+    );
+    println!(
+        "  complete bitstream: {} bytes",
+        base.bitstream.bitstream.byte_len()
+    );
+
+    // ---- Configure the board and run it --------------------------------
+    let mut board = SimBoard::new(device);
+    board
+        .set_configuration(&base.bitstream.bitstream)
+        .expect("configure");
+    let en = pad_of(&base.design, "mod1/en");
+    board.set_pad(en, true);
+    board.clock_step(5);
+    println!("  counter after 5 cycles: {}", read_q(&board, &base.design));
+
+    // ---- Phase 2: re-implement the module ------------------------------
+    println!("Phase 2: implementing the down-counter variant…");
+    let variant =
+        implement_variant(&base, "mod1/", &gen::down_counter("down", 4), 2).expect("variant");
+    println!(
+        "  variant XDL: {} lines, UCF: {} lines",
+        variant.xdl.lines().count(),
+        variant.ucf.lines().count()
+    );
+
+    // ---- JPG: partial bitstream generation -----------------------------
+    println!("JPG: generating the partial bitstream…");
+    let project = JpgProject::open(base.bitstream.clone()).expect("open base");
+    let partial = project
+        .generate_partial(&variant.xdl, &variant.ucf)
+        .expect("partial");
+    println!(
+        "  partial covers CLB columns {:?} ({} frames, {} JBits calls)",
+        partial.clb_columns,
+        partial.frames,
+        partial.stats.total()
+    );
+    println!(
+        "  partial bitstream: {} bytes ({:.1}% of complete)",
+        partial.bitstream.byte_len(),
+        100.0 * partial.bitstream.byte_len() as f64
+            / base.bitstream.bitstream.byte_len() as f64
+    );
+    println!("\nTarget floorplan area:\n{}", partial.floorplan);
+
+    // ---- Dynamic partial reconfiguration --------------------------------
+    println!("Downloading the partial onto the running device…");
+    project.download(&partial, &mut board).expect("download");
+    let q0 = read_q(&board, &base.design);
+    board.clock_step(1);
+    let q1 = read_q(&board, &base.design);
+    println!("  after swap: q = {q0}, then {q1} (counting down)");
+    assert_eq!(q1, (q0 + 15) % 16, "module should now decrement");
+    println!(
+        "\nTotal configuration traffic: {} bytes in {:?}",
+        board.config_bytes(),
+        board.config_time()
+    );
+}
+
+fn pad_of(design: &xdl::Design, name: &str) -> virtex::IobCoord {
+    match design.instance(name).expect("pad instance").placement {
+        Placement::Iob(io) => io,
+        _ => panic!("{name} is not a pad"),
+    }
+}
+
+fn read_q(board: &SimBoard, design: &xdl::Design) -> u64 {
+    let mut v = 0;
+    for i in 0..4 {
+        if board.get_pad(pad_of(design, &format!("mod1/q[{i}]"))) {
+            v |= 1 << i;
+        }
+    }
+    v
+}

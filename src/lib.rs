@@ -1,0 +1,12 @@
+//! Workspace root crate. Holds the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`; the actual library
+//! code lives in the `crates/` members, re-exported here for convenience.
+
+pub use baselines;
+pub use bitstream;
+pub use cadflow;
+pub use jbits;
+pub use jpg;
+pub use simboard;
+pub use virtex;
+pub use xdl;

@@ -1,0 +1,54 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use simboard::SimBoard;
+use std::collections::HashMap;
+use virtex::IobCoord;
+use xdl::{Design, Placement};
+
+/// Map port/instance names to the IOB sites they were placed on.
+pub fn pad_map(design: &Design) -> HashMap<String, IobCoord> {
+    design
+        .instances
+        .iter()
+        .filter_map(|i| match i.placement {
+            Placement::Iob(io) => Some((i.name.clone(), io)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Drive a named input pad on the board.
+pub fn drive(board: &mut SimBoard, pads: &HashMap<String, IobCoord>, name: &str, v: bool) {
+    let io = *pads
+        .get(name)
+        .unwrap_or_else(|| panic!("no pad named {name:?}"));
+    board.set_pad(io, v);
+}
+
+/// Read a named output pad.
+pub fn read(board: &SimBoard, pads: &HashMap<String, IobCoord>, name: &str) -> bool {
+    let io = *pads
+        .get(name)
+        .unwrap_or_else(|| panic!("no pad named {name:?}"));
+    board.get_pad(io)
+}
+
+/// Read an output bus `name[0..]` as an integer.
+pub fn read_bus(board: &SimBoard, pads: &HashMap<String, IobCoord>, prefix: &str) -> u64 {
+    let mut v = 0u64;
+    let mut i = 0;
+    loop {
+        let name = format!("{prefix}[{i}]");
+        match pads.get(&name) {
+            Some(io) => {
+                if board.get_pad(*io) {
+                    v |= 1 << i;
+                }
+                i += 1;
+            }
+            None => break,
+        }
+    }
+    assert!(i > 0, "no pads with prefix {prefix:?}");
+    v
+}

@@ -1,0 +1,220 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: encodings round-trip, CRC detects corruption, coalescing
+//! preserves coverage, and random netlists survive technology mapping.
+
+use bitstream::{bitgen, Bitstream, Interpreter};
+use cadflow::map::{map_netlist, verify_mapping};
+use cadflow::netlist::{GateKind, NetlistBuilder, SignalId};
+use proptest::prelude::*;
+use virtex::{BlockType, ConfigMemory, Device, FrameAddress};
+
+proptest! {
+    #[test]
+    fn far_word_roundtrips(block in 0u32..3, major in 0u32..256, minor in 0u32..256) {
+        let far = FrameAddress::new(
+            BlockType::decode(block).unwrap(),
+            major as u8,
+            minor as u8,
+        );
+        prop_assert_eq!(FrameAddress::from_word(far.to_word()), Some(far));
+    }
+
+    #[test]
+    fn bitstream_bytes_roundtrip(words in proptest::collection::vec(any::<u32>(), 0..200)) {
+        let bs = Bitstream::from_words(words);
+        prop_assert_eq!(Bitstream::from_bytes(&bs.to_bytes()).unwrap(), bs);
+    }
+
+    #[test]
+    fn lut_expr_roundtrips(table: u16) {
+        let s = xdl::truth_to_expr(table);
+        prop_assert_eq!(xdl::expr_to_truth(&s), Ok(table));
+    }
+
+    #[test]
+    fn coalesce_covers_exactly_the_input(frames in proptest::collection::vec(0usize..500, 0..60)) {
+        let ranges = bitgen::coalesce_frames(frames.clone());
+        // Coverage equals the dedup'd input set.
+        let mut covered: Vec<usize> = ranges.iter().flat_map(|r| r.frames()).collect();
+        let mut expect = frames;
+        expect.sort_unstable();
+        expect.dedup();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, expect);
+        // Ranges are disjoint, non-adjacent, sorted.
+        for pair in ranges.windows(2) {
+            prop_assert!(pair[0].start + pair[0].len < pair[1].start);
+        }
+    }
+
+    #[test]
+    fn config_field_roundtrips(
+        frame in 0usize..100,
+        bit in 0usize..300,
+        width in 1usize..32,
+        value: u32,
+    ) {
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        prop_assume!(bit + width <= mem.frame_words() * 32);
+        let masked = if width == 32 { value } else { value & ((1 << width) - 1) };
+        mem.set_field(frame, bit, width, value);
+        prop_assert_eq!(mem.get_field(frame, bit, width), masked);
+    }
+
+    #[test]
+    fn corrupted_full_bitstream_never_loads_silently(
+        word_pos_frac in 0.0f64..1.0,
+        bit in 0usize..32,
+    ) {
+        // Flip one bit anywhere in the packet stream: the device must
+        // either reject the stream or (if the flip hits a dummy/pad word
+        // or a not-yet-covered field) end in one of the two states we can
+        // justify. It must never load a silently wrong image.
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        for f in 0..mem.frame_count() {
+            mem.frame_mut(f)[0] = f as u32;
+        }
+        let bs = bitstream::full_bitstream(&mem);
+        let mut words = bs.words().to_vec();
+        let pos = ((words.len() - 1) as f64 * word_pos_frac) as usize;
+        words[pos] ^= 1 << bit;
+        let mut dev = Interpreter::new(Device::XCV50);
+        match dev.feed_words(&words) {
+            Err(_) => {} // rejected: good
+            Ok(()) => {
+                // Accepted: the image must match the original, i.e. the
+                // flip hit a word with no effect on frame data (dummy
+                // word, pad frame, or a don't-care register bit).
+                prop_assert_eq!(dev.memory(), &mem, "corruption at word {} accepted", pos);
+            }
+        }
+    }
+
+    #[test]
+    fn glob_match_literal_patterns(name in "[a-z/0-9]{0,12}") {
+        prop_assert!(xdl::ucf::glob_match(&name, &name));
+        prop_assert!(xdl::ucf::glob_match("*", &name));
+        let prefixed = format!("{name}*");
+        prop_assert!(xdl::ucf::glob_match(&prefixed, &name));
+    }
+
+    #[test]
+    fn random_netlists_map_correctly(ops in proptest::collection::vec((0u8..6, any::<u16>(), any::<u16>()), 1..40)) {
+        // Build a random DAG of gates over 4 inputs.
+        let mut b = NetlistBuilder::new("rand");
+        let mut sigs: Vec<SignalId> = (0..4).map(|i| b.input(format!("i{i}"))).collect();
+        for (kind, sa, sb) in ops {
+            let a = sigs[sa as usize % sigs.len()];
+            let c = sigs[sb as usize % sigs.len()];
+            let out = match kind {
+                0 => b.and(a, c),
+                1 => b.or(a, c),
+                2 => b.xor(a, c),
+                3 => b.not(a),
+                4 => b.mux(a, c, sigs[(sa as usize + 1) % sigs.len()]),
+                _ => b.dff(a),
+            };
+            sigs.push(out);
+        }
+        let last = *sigs.last().unwrap();
+        b.output("o", last);
+        // A couple more taps to create fanout.
+        let mid = sigs[sigs.len() / 2];
+        b.output("m", mid);
+        let nl = b.build();
+        let mapped = map_netlist(&nl);
+        prop_assert!(mapped.luts.iter().all(|l| l.inputs.len() <= 4));
+        prop_assert_eq!(verify_mapping(&nl, &mapped, 24, 99), None);
+    }
+
+    #[test]
+    fn parity_trees_of_any_width_map_correctly(width in 1usize..24) {
+        let mut b = NetlistBuilder::new("par");
+        let bus = b.input_bus("d", width);
+        let p = b.reduce(GateKind::Xor, &bus);
+        b.output("p", p);
+        let nl = b.build();
+        let mapped = map_netlist(&nl);
+        prop_assert_eq!(verify_mapping(&nl, &mapped, 32, 7), None);
+    }
+}
+
+proptest! {
+    // Robustness: no input, however hostile, may panic a parser or the
+    // device-side interpreter — they must return errors instead.
+
+    #[test]
+    fn interpreter_never_panics_on_garbage(words in proptest::collection::vec(any::<u32>(), 0..300)) {
+        let mut dev = Interpreter::new(Device::XCV50);
+        let _ = dev.feed_words(&words);
+    }
+
+    #[test]
+    fn interpreter_never_panics_on_synced_garbage(words in proptest::collection::vec(any::<u32>(), 0..300)) {
+        // Force it past the sync detector so packets actually decode.
+        let mut stream = vec![0xFFFF_FFFF, bitstream::SYNC_WORD];
+        stream.extend(words);
+        let mut dev = Interpreter::new(Device::XCV100);
+        let _ = dev.feed_words(&stream);
+    }
+
+    #[test]
+    fn xdl_parser_never_panics(text in "[ -~\n\"]{0,300}") {
+        let _ = xdl::parse(&text);
+    }
+
+    #[test]
+    fn ucf_parser_never_panics(text in "[ -~\n\"=]{0,300}") {
+        let _ = xdl::Constraints::parse(&text);
+    }
+
+    #[test]
+    fn lut_expr_parser_never_panics(text in "[A-Z0-9@*+~()= ]{0,60}") {
+        let _ = xdl::expr_to_truth(&text);
+    }
+
+    #[test]
+    fn bitfile_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = bitstream::BitFile::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn parbit_options_parser_never_panics(text in "[a-z_=0-9\n#]{0,120}") {
+        let _ = baselines::ParbitOptions::parse(&text);
+    }
+
+    #[test]
+    fn wire_name_parser_never_panics(text in "[A-Z0-9_/.-]{0,40}") {
+        let _ = virtex::Wire::parse(&text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn partial_plus_base_equals_direct_write(col in 0usize..24, seed in 1u32..1000) {
+        // Randomized version of the core JPG invariant at the frame
+        // level: start from a random base image, mutate one column, and
+        // check base + column partial == mutated image.
+        let device = Device::XCV50;
+        let mut base = ConfigMemory::new(device);
+        let mut s = seed;
+        for f in 0..base.frame_count() {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            base.frame_mut(f)[0] = s;
+        }
+        let geom = base.geometry().clone();
+        let major = geom.major_for_clb_col(col).unwrap();
+        let range = bitgen::FrameRange::for_column(&geom, BlockType::Clb, major).unwrap();
+        let mut variant = base.clone();
+        for f in range.frames() {
+            variant.frame_mut(f)[1] = !variant.frame(f)[0];
+        }
+        let partial = bitgen::partial_bitstream(&variant, &[range]);
+        let mut dev = Interpreter::new(device);
+        dev.feed(&bitstream::full_bitstream(&base)).unwrap();
+        dev.feed(&partial).unwrap();
+        prop_assert_eq!(dev.memory(), &variant);
+    }
+}
