@@ -60,8 +60,7 @@ impl Core {
         for op in &self.ops {
             match op {
                 CoreOp::WriteFrame { far, data } => {
-                    let words: Vec<String> =
-                        data.iter().map(|w| format!("0x{w:08X}")).collect();
+                    let words: Vec<String> = data.iter().map(|w| format!("0x{w:08X}")).collect();
                     let _ = writeln!(
                         out,
                         "jbits.writeFrame({}, {}, {}, new int[]{{{}}});",

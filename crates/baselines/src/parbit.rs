@@ -46,9 +46,7 @@ impl ParbitOptions {
                 "start_col" => {
                     start_col = Some(v.trim().parse().map_err(|e| format!("start_col: {e}"))?)
                 }
-                "end_col" => {
-                    end_col = Some(v.trim().parse().map_err(|e| format!("end_col: {e}"))?)
-                }
+                "end_col" => end_col = Some(v.trim().parse().map_err(|e| format!("end_col: {e}"))?),
                 "include_iobs" => include_iobs = v.trim() != "0",
                 other => return Err(format!("unknown option {other:?}")),
             }
@@ -69,9 +67,7 @@ impl ParbitOptions {
     pub fn print(&self) -> String {
         format!(
             "# PARBIT options\nstart_col={}\nend_col={}\ninclude_iobs={}\n",
-            self.start_col,
-            self.end_col,
-            self.include_iobs as u8
+            self.start_col, self.end_col, self.include_iobs as u8
         )
     }
 }

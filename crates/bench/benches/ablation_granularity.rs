@@ -91,7 +91,7 @@ fn bench(c: &mut Criterion) {
                         touch(&mut jb, 16);
                         jb
                     },
-                    |mut jb| jb.partial_bitstream(gran),
+                    |jb| jb.partial_bitstream(gran),
                 )
             },
         );

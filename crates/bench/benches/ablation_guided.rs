@@ -26,16 +26,13 @@ fn print_table() {
     opts.route.region_cols = Some((1, 8));
     opts.route.clock_index = Some(0);
 
-    header(&[
-        "mode",
-        "flow time",
-        "wirelength",
-        "pads on base sites",
-    ]);
-    for (label, guide) in [("guided (paper)", Some(&base.design)), ("from scratch", None)] {
+    header(&["mode", "flow time", "wirelength", "pads on base sites"]);
+    for (label, guide) in [
+        ("guided (paper)", Some(&base.design)),
+        ("from scratch", None),
+    ] {
         let t0 = Instant::now();
-        let (design, report) =
-            implement(&nl, DEVICE, &cons, "mod1/", guide, &opts).expect("flow");
+        let (design, report) = implement(&nl, DEVICE, &cons, "mod1/", guide, &opts).expect("flow");
         let t = t0.elapsed();
         let stable = design
             .occupied_iobs()
@@ -54,7 +51,9 @@ fn print_table() {
             format!("{stable}/{total}"),
         ]);
     }
-    println!("guided mode keeps every pad in place (hot-swap requirement) and skips most annealing.");
+    println!(
+        "guided mode keeps every pad in place (hot-swap requirement) and skips most annealing."
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -44,7 +44,11 @@ fn print_table() {
                 format!("{}", report.place.wirelength),
                 format!(
                     "{:.1} ns",
-                    report.timing.as_ref().map(|t| t.critical_path_ns).unwrap_or(0.0)
+                    report
+                        .timing
+                        .as_ref()
+                        .map(|t| t.critical_path_ns)
+                        .unwrap_or(0.0)
                 ),
             ]);
         }
@@ -67,15 +71,11 @@ fn bench(c: &mut Criterion) {
                     optimize,
                     ..FlowOptions::default()
                 };
-                b.iter(|| {
-                    implement(&nl, DEVICE, &Constraints::default(), "", None, &opts).unwrap()
-                })
+                b.iter(|| implement(&nl, DEVICE, &Constraints::default(), "", None, &opts).unwrap())
             },
         );
     }
-    g.bench_function("optimize_pass_alone", |b| {
-        b.iter(|| cadflow::optimize(&nl))
-    });
+    g.bench_function("optimize_pass_alone", |b| b.iter(|| cadflow::optimize(&nl)));
     g.finish();
 }
 

@@ -62,12 +62,16 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("full", d.name()), &mem, |b, mem| {
             b.iter(|| bitstream::full_bitstream(mem))
         });
-        g.bench_with_input(BenchmarkId::new("one_col_partial", d.name()), &mem, |b, mem| {
-            let geom = mem.geometry();
-            let major = geom.major_for_clb_col(0).unwrap();
-            let range = FrameRange::for_column(geom, BlockType::Clb, major).unwrap();
-            b.iter(|| bitgen::partial_bitstream(mem, &[range]))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("one_col_partial", d.name()),
+            &mem,
+            |b, mem| {
+                let geom = mem.geometry();
+                let major = geom.major_for_clb_col(0).unwrap();
+                let range = FrameRange::for_column(geom, BlockType::Clb, major).unwrap();
+                b.iter(|| bitgen::partial_bitstream(mem, &[range]))
+            },
+        );
     }
     g.finish();
 }

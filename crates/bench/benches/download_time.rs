@@ -37,7 +37,12 @@ fn print_table() {
         "partial time",
         "speedup",
     ]);
-    for d in [Device::XCV50, Device::XCV100, Device::XCV300, Device::XCV800] {
+    for d in [
+        Device::XCV50,
+        Device::XCV100,
+        Device::XCV300,
+        Device::XCV800,
+    ] {
         let mem = ConfigMemory::new(d);
         let full = bitstream::full_bitstream(&mem);
         let cols = d.geometry().clb_cols;
@@ -48,14 +53,16 @@ fn print_table() {
             format!("{:?}", download_time(full.byte_len())),
             format!("{}", partial.byte_len()),
             format!("{:?}", download_time(partial.byte_len())),
-            format!(
-                "{:.1}x",
-                full.byte_len() as f64 / partial.byte_len() as f64
-            ),
+            format!("{:.1}x", full.byte_len() as f64 / partial.byte_len() as f64),
         ]);
     }
     println!("\nregion-width sweep on XCV100 (20x30):");
-    header(&["region cols", "partial bytes", "fraction of complete", "download"]);
+    header(&[
+        "region cols",
+        "partial bytes",
+        "fraction of complete",
+        "download",
+    ]);
     let mem = ConfigMemory::new(Device::XCV100);
     let full = bitstream::full_bitstream(&mem).byte_len();
     for w in [1usize, 2, 5, 10, 15, 20, 30] {
@@ -67,7 +74,9 @@ fn print_table() {
             format!("{:?}", download_time(p.byte_len())),
         ]);
     }
-    println!("paper claim: download time ∝ bitstream bytes; partials reconfigure proportionally faster.");
+    println!(
+        "paper claim: download time ∝ bitstream bytes; partials reconfigure proportionally faster."
+    );
 
     println!("\nport comparison (XCV100 complete vs 1/3 partial):");
     header(&["port", "complete", "partial", "note"]);

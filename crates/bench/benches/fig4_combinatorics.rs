@@ -16,7 +16,10 @@ use std::time::{Duration, Instant};
 
 fn print_table() {
     let regions = fig4_regions();
-    println!("\n== E1: Figure 4 — bitstream economics on {} ==", FIG4_DEVICE);
+    println!(
+        "\n== E1: Figure 4 — bitstream economics on {} ==",
+        FIG4_DEVICE
+    );
 
     // JPG side: base + 10 partials.
     let t0 = Instant::now();

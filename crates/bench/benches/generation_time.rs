@@ -23,13 +23,8 @@ fn print_table() {
     ]);
     for d in [Device::XCV50, Device::XCV100, Device::XCV200] {
         let base = single_region_base(d, (1, 8), 3);
-        let variant = implement_variant(
-            &base,
-            "mod1/",
-            &cadflow::gen::down_counter("down", 4),
-            7,
-        )
-        .expect("variant");
+        let variant = implement_variant(&base, "mod1/", &cadflow::gen::down_counter("down", 4), 7)
+            .expect("variant");
         let project = JpgProject::open(base.bitstream.clone()).expect("open");
 
         // Best-of-5 to keep the one-shot table stable; Criterion below
@@ -63,10 +58,7 @@ fn print_table() {
             d.to_string(),
             format!("{t_full:?}"),
             format!("{t_partial:?}"),
-            format!(
-                "{:.2}x",
-                t_full.as_secs_f64() / t_partial.as_secs_f64()
-            ),
+            format!("{:.2}x", t_full.as_secs_f64() / t_partial.as_secs_f64()),
             format!(
                 "{:.1}%",
                 100.0 * partial.bitstream.byte_len() as f64 / full.byte_len() as f64
@@ -83,13 +75,8 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
     for d in [Device::XCV50, Device::XCV200] {
         let base = single_region_base(d, (1, 8), 3);
-        let variant = implement_variant(
-            &base,
-            "mod1/",
-            &cadflow::gen::down_counter("down", 4),
-            7,
-        )
-        .expect("variant");
+        let variant = implement_variant(&base, "mod1/", &cadflow::gen::down_counter("down", 4), 7)
+            .expect("variant");
         let project = JpgProject::open(base.bitstream.clone()).expect("open");
         g.bench_with_input(
             BenchmarkId::new("full_bitgen", d.name()),

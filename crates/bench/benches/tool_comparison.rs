@@ -78,8 +78,7 @@ fn print_table(s: &Scenario) {
     ]);
 
     let t0 = Instant::now();
-    let core = diff_bitstreams(DEVICE, &s.base.bitstream.bitstream, &s.variant_full)
-        .expect("diff");
+    let core = diff_bitstreams(DEVICE, &s.base.bitstream.bitstream, &s.variant_full).expect("diff");
     let t_diff = t0.elapsed();
     row(&[
         "JBitsDiff".into(),
@@ -117,8 +116,7 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("jbitsdiff", |b| {
         b.iter(|| {
-            diff_bitstreams(DEVICE, &s.base.bitstream.bitstream, &s.variant_full)
-                .expect("diff")
+            diff_bitstreams(DEVICE, &s.base.bitstream.bitstream, &s.variant_full).expect("diff")
         })
     });
     g.finish();

@@ -72,15 +72,19 @@ fn bench(c: &mut Criterion) {
             b.iter(|| xdl::parse(text).expect("parse"))
         });
         let design = xdl::parse(&text).expect("parse");
-        g.bench_with_input(BenchmarkId::new("translate", width), &design, |b, design| {
-            b.iter_with_setup(
-                || Jbits::new(DEVICE),
-                |mut jb| {
-                    jpg::apply_design(&mut jb, design).expect("translate");
-                    jb
-                },
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("translate", width),
+            &design,
+            |b, design| {
+                b.iter_with_setup(
+                    || Jbits::new(DEVICE),
+                    |mut jb| {
+                        jpg::apply_design(&mut jb, design).expect("translate");
+                        jb
+                    },
+                )
+            },
+        );
         g.bench_with_input(BenchmarkId::new("print", width), &design, |b, design| {
             b.iter(|| xdl::print(design))
         });

@@ -88,3 +88,46 @@ pub fn header(cells: &[&str]) {
         cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
     );
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure-4 arithmetic: three regions with 3, 3 and 4
+    /// interchangeable modules need 3·3·4 = 36 complete bitstreams under
+    /// the conventional flow, but exactly **1 complete + 10 partials**
+    /// with JPG (one partial per module variant).
+    #[test]
+    fn fig4_library_is_one_complete_plus_ten_partials() {
+        let regions = fig4_regions();
+        assert_eq!(regions.len(), 3);
+        let per_region: Vec<usize> = regions.iter().map(|r| r.variants.len()).collect();
+        assert_eq!(per_region, [3, 3, 4]);
+        assert_eq!(per_region.iter().sum::<usize>(), 10, "ten partials");
+        assert_eq!(
+            per_region.iter().product::<usize>(),
+            36,
+            "conventional flow"
+        );
+    }
+
+    /// Partials only compose onto one base if the regions occupy
+    /// disjoint column ranges (Virtex reconfigures whole columns) and
+    /// every range fits the Figure-4 device.
+    #[test]
+    fn fig4_regions_are_column_disjoint_and_on_device() {
+        let regions = fig4_regions();
+        let cols = FIG4_DEVICE.geometry().clb_cols as i32;
+        let mut spans: Vec<(i32, i32)> = regions
+            .iter()
+            .map(|r| (r.region.col0, r.region.col1))
+            .collect();
+        spans.sort_unstable();
+        for (lo, hi) in &spans {
+            assert!(0 <= *lo && lo <= hi && *hi < cols, "range on the XCV100");
+        }
+        for pair in spans.windows(2) {
+            assert!(pair[0].1 < pair[1].0, "regions share a column: {pair:?}");
+        }
+    }
+}

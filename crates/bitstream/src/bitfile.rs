@@ -51,7 +51,12 @@ impl std::error::Error for BitFileError {}
 
 impl BitFile {
     /// Wrap a bitstream with its header.
-    pub fn new(design: impl Into<String>, device: Device, partial: bool, bitstream: Bitstream) -> Self {
+    pub fn new(
+        design: impl Into<String>,
+        device: Device,
+        partial: bool,
+        bitstream: Bitstream,
+    ) -> Self {
         BitFile {
             design: design.into(),
             device,
@@ -99,8 +104,7 @@ impl BitFile {
             .map_err(|_| BitFileError::BadName)?
             .to_string();
         let rest = &rest[name_len..];
-        let payload_len =
-            u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let payload_len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
         let rest = &rest[4..];
         take(rest, payload_len)?;
         let bitstream =
@@ -157,7 +161,12 @@ mod tests {
 
     #[test]
     fn unicode_design_names() {
-        let f = BitFile::new("fältbuss-αβ", Device::XCV50, true, Bitstream::from_words(vec![]));
+        let f = BitFile::new(
+            "fältbuss-αβ",
+            Device::XCV50,
+            true,
+            Bitstream::from_words(vec![]),
+        );
         assert_eq!(BitFile::from_bytes(&f.to_bytes()).unwrap(), f);
     }
 }

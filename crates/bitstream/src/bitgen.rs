@@ -13,8 +13,11 @@
 //! The trailing pad frame per `FDRI` run mirrors the silicon's one-frame
 //! write pipeline: the final frame of any run is never committed.
 
+use crate::crc::{Crc16, BITS_PER_UPDATE};
+use crate::packet::{Packet, TYPE1_MAX_COUNT};
 use crate::regs::{Command, Register};
 use crate::writer::{Bitstream, BitstreamWriter};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use virtex::{BlockType, ConfigGeometry, ConfigMemory};
 
@@ -60,13 +63,24 @@ impl FrameRange {
 
 /// Merge overlapping/adjacent frame indices into maximal contiguous
 /// ranges. The input need not be sorted.
-pub fn coalesce_frames(mut frames: Vec<usize>) -> Vec<FrameRange> {
+pub fn coalesce_frames(frames: Vec<usize>) -> Vec<FrameRange> {
+    coalesce_frames_bridged(frames, 0)
+}
+
+/// [`coalesce_frames`], additionally bridging gaps of up to `max_gap`
+/// frames between runs. A bridged frame is emitted with its current
+/// content — a no-op write when it is unchanged — which costs
+/// `frame_words` payload words but saves a packet run's `FAR`/`WCFG`/
+/// `FDRI` headers plus its pipeline pad frame. For single-frame gaps
+/// that trade is a net win (in both bytes and CRC work) on every Virtex
+/// geometry, so incremental generators pass `max_gap = 1`.
+pub fn coalesce_frames_bridged(mut frames: Vec<usize>, max_gap: usize) -> Vec<FrameRange> {
     frames.sort_unstable();
     frames.dedup();
     let mut out: Vec<FrameRange> = Vec::new();
     for f in frames {
         match out.last_mut() {
-            Some(r) if r.start + r.len == f => r.len += 1,
+            Some(r) if f - (r.start + r.len) <= max_gap => r.len = f - r.start + 1,
             _ => out.push(FrameRange::new(f, 1)),
         }
     }
@@ -79,7 +93,7 @@ fn frame_payload(mem: &ConfigMemory, range: FrameRange) -> Vec<u32> {
     for f in range.frames() {
         data.extend_from_slice(mem.frame(f));
     }
-    data.extend(std::iter::repeat(0).take(fw)); // pipeline pad frame
+    data.extend(std::iter::repeat_n(0, fw)); // pipeline pad frame
     data
 }
 
@@ -142,6 +156,97 @@ pub fn partial_bitstream(mem: &ConfigMemory, ranges: &[FrameRange]) -> Bitstream
     w.finish()
 }
 
+/// One range's packet run — `FAR` seek, `WCFG`, `FDRI` write of the
+/// frames plus the pipeline pad frame — with its CRC contribution
+/// computed from a zero register so sections can be built in any order
+/// (and on any worker) and spliced deterministically.
+struct RangeSection {
+    words: Vec<u32>,
+    crc: u16,
+    crc_bits: usize,
+}
+
+fn emit_range_section(mem: &ConfigMemory, range: FrameRange) -> RangeSection {
+    let geom = mem.geometry();
+    let fw = mem.frame_words();
+    let payload_len = (range.len + 1) * fw; // frames + pad frame
+    let mut words = Vec::with_capacity(payload_len + 6);
+    let mut crc = Crc16::new();
+
+    let far = far_word(geom, range.start);
+    words.push(Packet::write1(Register::Far, 1).encode());
+    words.push(far);
+    crc.update(Register::Far, far);
+
+    let wcfg = Command::Wcfg.code();
+    words.push(Packet::write1(Register::Cmd, 1).encode());
+    words.push(wcfg);
+    crc.update(Register::Cmd, wcfg);
+
+    if payload_len <= TYPE1_MAX_COUNT {
+        words.push(Packet::write1(Register::Fdri, payload_len).encode());
+    } else {
+        words.push(Packet::write1(Register::Fdri, 0).encode());
+        words.push(Packet::write2(payload_len).encode());
+    }
+    let payload_at = words.len();
+    for f in range.frames() {
+        words.extend_from_slice(mem.frame(f));
+    }
+    words.extend(std::iter::repeat_n(0, fw)); // pipeline pad frame
+    for &w in &words[payload_at..] {
+        crc.update(Register::Fdri, w);
+    }
+
+    RangeSection {
+        words,
+        crc: crc.value(),
+        // Covered words: the FAR word, the WCFG word and the FDRI payload
+        // (packet headers never enter the CRC).
+        crc_bits: (payload_len + 2) * BITS_PER_UPDATE,
+    }
+}
+
+/// [`partial_bitstream`], sharded across workers: each dirty range (one
+/// configuration column, or a contiguous run of them) is turned into its
+/// packet run and CRC contribution independently, then the sections are
+/// spliced in range order. The GF(2) linearity of the running CRC (see
+/// [`Crc16::combine`]) makes the splice exact, so the output is
+/// **byte-identical** to the serial generator's — a property the test
+/// suite pins across devices and random dirty sets.
+pub fn partial_bitstream_par(mem: &ConfigMemory, ranges: &[FrameRange]) -> Bitstream {
+    partial_bitstream_stitched(mem, ranges)
+}
+
+/// The sharded emitter behind [`partial_bitstream_par`]. Also worthwhile
+/// inline on a single worker: sections bulk-copy frame payloads and batch
+/// their CRC updates, where the serial writer streams word by word.
+pub fn partial_bitstream_stitched(mem: &ConfigMemory, ranges: &[FrameRange]) -> Bitstream {
+    let geom = mem.geometry();
+    for range in ranges {
+        assert!(range.valid_for(geom), "frame range out of bounds");
+    }
+    let sections: Vec<RangeSection> = ranges
+        .par_iter()
+        .map(|r| emit_range_section(mem, *r))
+        .collect();
+
+    let mut w = BitstreamWriter::new();
+    w.sync()
+        .command(Command::Rcrc)
+        .reset_crc()
+        .write_reg(Register::Idcode, &[mem.device().idcode()])
+        .write_reg(Register::Flr, &[geom.frame_words() as u32]);
+    for s in &sections {
+        w.append_section(&s.words, s.crc, s.crc_bits);
+    }
+    w.write_crc()
+        .command(Command::Lfrm)
+        .command(Command::Start)
+        .command(Command::Desynch);
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,11 +296,84 @@ mod tests {
     }
 
     #[test]
+    fn bridged_coalesce_spans_small_gaps_only() {
+        // 3,4 | gap 1 | 6 bridges into one run; 9 stays separate.
+        assert_eq!(
+            coalesce_frames_bridged(vec![3, 4, 6, 9], 1),
+            vec![FrameRange::new(3, 4), FrameRange::new(9, 1)]
+        );
+        // max_gap 0 behaves exactly like plain coalescing.
+        assert_eq!(
+            coalesce_frames_bridged(vec![3, 4, 6, 9], 0),
+            coalesce_frames(vec![3, 4, 6, 9])
+        );
+        // A bridged partial still lands the right device state.
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        mem.set_bit(3, 1, true);
+        mem.set_bit(6, 2, true);
+        let runs = coalesce_frames_bridged(mem.dirty_frames(), 1);
+        assert_eq!(runs.len(), 2); // gap of 2 between 3 and 6: not bridged
+        let runs = coalesce_frames_bridged(vec![3, 5, 6], 1);
+        assert_eq!(runs, vec![FrameRange::new(3, 4)]);
+        let mut dev = crate::Interpreter::new(Device::XCV50);
+        dev.feed(&partial_bitstream_par(&mem, &runs)).unwrap();
+        assert_eq!(dev.memory(), &mem);
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn partial_rejects_out_of_range() {
         let mem = ConfigMemory::new(Device::XCV50);
         let total = mem.geometry().total_frames();
         let _ = partial_bitstream(&mem, &[FrameRange::new(total - 1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn partial_stitched_rejects_out_of_range() {
+        let mem = ConfigMemory::new(Device::XCV50);
+        let total = mem.geometry().total_frames();
+        let _ = partial_bitstream_stitched(&mem, &[FrameRange::new(total - 1, 2)]);
+    }
+
+    #[test]
+    fn stitched_partial_is_byte_identical_to_serial() {
+        let mut mem = ConfigMemory::new(Device::XCV100);
+        for f in [0, 9, 300, 301, 700] {
+            mem.frame_mut(f)[0] = 0xC0DE_0000 | f as u32;
+        }
+        let geom = mem.geometry().clone();
+        let m1 = geom.major_for_clb_col(3).unwrap();
+        let m2 = geom.major_for_clb_col(17).unwrap();
+        let ranges = [
+            FrameRange::new(0, 2),
+            FrameRange::for_column(&geom, BlockType::Clb, m1).unwrap(),
+            FrameRange::for_column(&geom, BlockType::Clb, m2).unwrap(),
+            FrameRange::new(700, 1),
+        ];
+        let serial = partial_bitstream(&mem, &ranges);
+        let par = partial_bitstream_stitched(&mem, &ranges);
+        assert_eq!(serial.to_bytes(), par.to_bytes());
+    }
+
+    #[test]
+    fn stitched_partial_handles_type2_payloads() {
+        // A range long enough that the FDRI write needs a type-2 header.
+        let mem = ConfigMemory::new(Device::XCV300);
+        let need = TYPE1_MAX_COUNT / mem.frame_words() + 2;
+        let ranges = [FrameRange::new(10, need)];
+        let serial = partial_bitstream(&mem, &ranges);
+        let par = partial_bitstream_stitched(&mem, &ranges);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn stitched_partial_with_no_ranges_matches_serial() {
+        let mem = ConfigMemory::new(Device::XCV50);
+        assert_eq!(
+            partial_bitstream(&mem, &[]),
+            partial_bitstream_stitched(&mem, &[])
+        );
     }
 
     #[test]

@@ -13,6 +13,97 @@ use crate::regs::Register;
 /// The polynomial, reflected form of 0x8005.
 const POLY: u16 = 0xA001;
 
+/// Bits fed into the CRC per register write: 32 data bits + 4 address
+/// bits. The unit [`Crc16::combine`] counts section lengths in.
+pub const BITS_PER_UPDATE: usize = 36;
+
+/// Byte-at-a-time table for the reflected polynomial, built at compile
+/// time. `TABLE[b]` is the register after shifting 8 zero bits through a
+/// register whose low byte was `b`.
+const TABLE: [u16; 256] = build_table();
+
+const fn build_table() -> [u16; 256] {
+    let mut t = [0u16; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut v = i as u16;
+        let mut b = 0;
+        while b < 8 {
+            v = if v & 1 != 0 { (v >> 1) ^ POLY } else { v >> 1 };
+            b += 1;
+        }
+        t[i] = v;
+        i += 1;
+    }
+    t
+}
+
+/// A 16×16 GF(2) matrix: `m[i]` is the image of basis vector `1 << i`.
+type Matrix = [u16; 16];
+
+const fn mat_apply(m: &Matrix, v: u16) -> u16 {
+    let mut out = 0u16;
+    let mut bits = v;
+    while bits != 0 {
+        let i = bits.trailing_zeros() as usize;
+        out ^= m[i];
+        bits &= bits - 1;
+    }
+    out
+}
+
+const fn mat_mul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = [0u16; 16];
+    let mut i = 0;
+    while i < 16 {
+        out[i] = mat_apply(a, b[i]);
+        i += 1;
+    }
+    out
+}
+
+/// The shift-one-zero-bit-in operator `L(v) = (v >> 1) ^ ((v & 1) * POLY)`
+/// as a matrix.
+const fn step_matrix() -> Matrix {
+    let mut m = [0u16; 16];
+    m[0] = POLY; // bit 0 shifts out and folds the polynomial back in
+    let mut i = 1;
+    while i < 16 {
+        m[i] = 1 << (i - 1);
+        i += 1;
+    }
+    m
+}
+
+/// `POW2[k] = L^(2^k)`, the step matrix repeatedly squared at compile
+/// time, covering every possible `usize` section length.
+const POW2: [Matrix; usize::BITS as usize] = build_pow2();
+
+const fn build_pow2() -> [Matrix; usize::BITS as usize] {
+    let mut p = [[0u16; 16]; usize::BITS as usize];
+    p[0] = step_matrix();
+    let mut k = 1;
+    while k < usize::BITS as usize {
+        p[k] = mat_mul(&p[k - 1], &p[k - 1]);
+        k += 1;
+    }
+    p
+}
+
+/// Advance `state` through `bits` zero input bits: `L^bits(state)`. With
+/// the squared powers precomputed this is one 16-op vector apply per set
+/// bit of `bits` — cheap enough to run once per parallel section.
+fn advance(state: u16, bits: usize) -> u16 {
+    let mut result = state;
+    let mut n = bits;
+    while n != 0 {
+        let k = n.trailing_zeros() as usize;
+        result = mat_apply(&POW2[k], result);
+        n &= n - 1;
+    }
+    result
+}
+
 /// A running 16-bit configuration CRC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Crc16 {
@@ -23,6 +114,11 @@ impl Crc16 {
     /// A freshly reset CRC (as after the `RCRC` command).
     pub fn new() -> Self {
         Crc16 { value: 0 }
+    }
+
+    /// A CRC register holding `value` (deserialized or combined state).
+    pub fn from_value(value: u16) -> Self {
+        Crc16 { value }
     }
 
     /// Reset to zero (`RCRC`).
@@ -38,9 +134,10 @@ impl Crc16 {
         }
     }
 
-    /// Accumulate one register write: 32 data bits (LSB first) then the
-    /// 4-bit register address.
-    pub fn update(&mut self, reg: Register, word: u32) {
+    /// Reference bit-serial update (kept as the specification the
+    /// table-driven path is tested against).
+    #[cfg(test)]
+    fn update_bitwise(&mut self, reg: Register, word: u32) {
         for i in 0..32 {
             self.feed_bit((word >> i) & 1 == 1);
         }
@@ -48,6 +145,33 @@ impl Crc16 {
         for i in 0..4 {
             self.feed_bit((addr >> i) & 1 == 1);
         }
+    }
+
+    /// Accumulate one register write: 32 data bits (LSB first) then the
+    /// 4-bit register address. Table-driven over the data bytes.
+    pub fn update(&mut self, reg: Register, word: u32) {
+        let mut v = self.value;
+        for b in word.to_le_bytes() {
+            v = (v >> 8) ^ TABLE[((v ^ b as u16) & 0xFF) as usize];
+        }
+        self.value = v;
+        let addr = reg.addr() as u16;
+        for i in 0..4 {
+            self.feed_bit((addr >> i) & 1 == 1);
+        }
+    }
+
+    /// Append a section that was CRC'd independently from a zero register.
+    ///
+    /// The update recurrence is affine over GF(2): feeding a bit `b` maps
+    /// the register through `v → L(v) ⊕ b·POLY` with linear `L`. Feeding a
+    /// whole section therefore splits into `L^bits(state)` (the old state
+    /// shifted through the section's length) XOR the section's own CRC
+    /// computed from zero. This is what lets per-column workers checksum
+    /// their frames independently and still reproduce the serial running
+    /// CRC exactly.
+    pub fn combine(&mut self, section_crc: u16, section_bits: usize) {
+        self.value = advance(self.value, section_bits) ^ section_crc;
     }
 
     /// The current accumulated value.
@@ -61,7 +185,10 @@ impl Crc16 {
 /// through) and command/status plumbing that the tools rewrite freely are
 /// excluded.
 pub fn crc_covered(reg: Register) -> bool {
-    !matches!(reg, Register::Crc | Register::Lout | Register::Stat | Register::Fdro)
+    !matches!(
+        reg,
+        Register::Crc | Register::Lout | Register::Stat | Register::Fdro
+    )
 }
 
 #[cfg(test)]
@@ -111,6 +238,69 @@ mod tests {
             b.update(Register::Fdri, 0x1234_5678 ^ (1 << bit));
             assert_ne!(a.value(), b.value(), "flip of bit {bit} undetected");
         }
+    }
+
+    #[test]
+    fn table_update_matches_bitwise_reference() {
+        let words = [
+            0u32,
+            1,
+            0xFFFF_FFFF,
+            0xDEAD_BEEF,
+            0xAA99_5566,
+            0x1234_5678,
+            0x8000_0001,
+        ];
+        for reg in [Register::Fdri, Register::Far, Register::Cmd, Register::Flr] {
+            let mut fast = Crc16::new();
+            let mut slow = Crc16::new();
+            for &w in &words {
+                fast.update(reg, w);
+                slow.update_bitwise(reg, w);
+                assert_eq!(fast.value(), slow.value(), "reg {reg:?} word {w:#010x}");
+            }
+        }
+    }
+
+    #[test]
+    fn combine_matches_sequential() {
+        // Split a word stream at several points; processing the tail from
+        // zero and combining must equal straight-through processing.
+        let words: Vec<u32> = (0..50)
+            .map(|i| (i as u32).wrapping_mul(0x9E37_79B9))
+            .collect();
+        let mut whole = Crc16::new();
+        whole.update(Register::Far, 0x0000_1200);
+        for &w in &words {
+            whole.update(Register::Fdri, w);
+        }
+        for split in [0, 1, 7, 25, 49, 50] {
+            let mut head = Crc16::new();
+            head.update(Register::Far, 0x0000_1200);
+            for &w in &words[..split] {
+                head.update(Register::Fdri, w);
+            }
+            let mut tail = Crc16::new();
+            for &w in &words[split..] {
+                tail.update(Register::Fdri, w);
+            }
+            head.combine(tail.value(), (words.len() - split) * BITS_PER_UPDATE);
+            assert_eq!(head.value(), whole.value(), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn combine_empty_section_is_identity() {
+        let mut a = Crc16::new();
+        a.update(Register::Cmd, 7);
+        let before = a.value();
+        a.combine(0, 0);
+        assert_eq!(a.value(), before);
+    }
+
+    #[test]
+    fn from_value_roundtrip() {
+        assert_eq!(Crc16::from_value(0xABCD).value(), 0xABCD);
     }
 
     #[test]

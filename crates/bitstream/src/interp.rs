@@ -82,7 +82,10 @@ impl std::fmt::Display for ConfigError {
                 "IDCODE mismatch: stream says {written:#010x}, device is {device:#010x}"
             ),
             ConfigError::FrameLengthMismatch { written, device } => {
-                write!(f, "FLR mismatch: stream says {written}, device needs {device}")
+                write!(
+                    f,
+                    "FLR mismatch: stream says {written}, device needs {device}"
+                )
             }
             ConfigError::BadFrameAddress(w) => write!(f, "invalid FAR value {w:#010x}"),
             ConfigError::FdriAlignment { words } => {
@@ -301,7 +304,7 @@ impl Interpreter {
                     });
                 }
                 let fw = self.mem.frame_words();
-                if payload.len() % fw != 0 {
+                if !payload.len().is_multiple_of(fw) {
                     return Err(ConfigError::FdriAlignment {
                         words: payload.len(),
                     });
@@ -386,18 +389,19 @@ impl Interpreter {
                     return Err(ConfigError::ReadWithoutRcfg);
                 }
                 let fw = self.mem.frame_words();
-                if count % fw != 0 {
+                if !count.is_multiple_of(fw) {
                     return Err(ConfigError::FdriAlignment { words: count });
                 }
                 let frames = count / fw;
                 // Readback delivers one pad frame first, then real frames.
-                self.readback.extend(std::iter::repeat(0).take(fw));
+                self.readback.extend(std::iter::repeat_n(0, fw));
                 let real = frames.saturating_sub(1);
                 if self.far + real > self.mem.frame_count() {
                     return Err(ConfigError::FrameOverrun);
                 }
                 for k in 0..real {
-                    self.readback.extend_from_slice(self.mem.frame(self.far + k));
+                    self.readback
+                        .extend_from_slice(self.mem.frame(self.far + k));
                 }
                 self.far += real;
             }

@@ -40,7 +40,10 @@ pub mod regs;
 pub mod writer;
 
 pub use bitfile::BitFile;
-pub use bitgen::{full_bitstream, partial_bitstream, FrameRange};
+pub use bitgen::{
+    full_bitstream, partial_bitstream, partial_bitstream_par, partial_bitstream_stitched,
+    FrameRange,
+};
 pub use interp::{ConfigError, Interpreter};
 pub use packet::{Packet, SYNC_WORD};
 pub use regs::{Command, Register};

@@ -200,10 +200,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(matches!(
-            Packet::decode(0),
-            Err(PacketError::BadType(0))
-        ));
+        assert!(matches!(Packet::decode(0), Err(PacketError::BadType(0))));
         assert!(matches!(
             Packet::decode(7 << 29),
             Err(PacketError::BadType(7))

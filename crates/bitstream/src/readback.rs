@@ -81,8 +81,7 @@ mod tests {
         let mem = ConfigMemory::new(Device::XCV50);
         let geom = mem.geometry().clone();
         let mut dev = Interpreter::with_memory(mem);
-        let frames =
-            readback_frames(&mut dev, FrameRange::whole_device(&geom)).unwrap();
+        let frames = readback_frames(&mut dev, FrameRange::whole_device(&geom)).unwrap();
         assert_eq!(frames.len(), geom.total_frames());
     }
 }

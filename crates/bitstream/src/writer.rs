@@ -46,7 +46,7 @@ impl Bitstream {
     /// Parse from big-endian bytes. Returns `None` if not a whole number
     /// of words.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() % 4 != 0 {
+        if !bytes.len().is_multiple_of(4) {
             return None;
         }
         let words = bytes
@@ -131,6 +131,24 @@ impl BitstreamWriter {
     /// Write a command to `CMD`.
     pub fn command(&mut self, cmd: Command) -> &mut Self {
         self.write_reg(Register::Cmd, &[cmd.code()])
+    }
+
+    /// Splice in a pre-built packet run whose CRC contribution was
+    /// computed independently from a zero register. `section_bits` is the
+    /// number of CRC-covered bits the section fed (use
+    /// [`crate::crc::BITS_PER_UPDATE`] per covered word); header words of
+    /// CRC-exempt registers contribute zero bits. The running CRC advances
+    /// exactly as if the section's writes had gone through this writer.
+    pub fn append_section(
+        &mut self,
+        words: &[u32],
+        section_crc: u16,
+        section_bits: usize,
+    ) -> &mut Self {
+        assert!(self.synced, "write before sync");
+        self.words.extend_from_slice(words);
+        self.crc.combine(section_crc, section_bits);
+        self
     }
 
     /// Write the accumulated CRC to the `CRC` register (the device will

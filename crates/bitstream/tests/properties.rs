@@ -1,0 +1,106 @@
+//! Property tests for the bitstream format layer: container round-trips,
+//! packet header round-trips through the device-side interpreter, and
+//! CRC stability under frame-range coalescing.
+
+use bitstream::bitgen::{self, coalesce_frames, FrameRange};
+use bitstream::packet::{Op, Packet, TYPE1_MAX_COUNT, TYPE2_MAX_COUNT};
+use bitstream::{Bitstream, Interpreter, Register};
+use proptest::prelude::*;
+use virtex::{ConfigMemory, Device};
+
+proptest! {
+    /// `to_bytes` → `from_bytes` is the identity on any word sequence.
+    #[test]
+    fn bitstream_bytes_roundtrip(words in proptest::collection::vec(0u32..u32::MAX, 0..200)) {
+        let bs = Bitstream::from_words(words.clone());
+        let bytes = bs.to_bytes();
+        prop_assert_eq!(bytes.len(), words.len() * 4);
+        let back = Bitstream::from_bytes(&bytes).expect("whole words");
+        prop_assert_eq!(back.words(), &words[..]);
+    }
+
+    /// Byte streams that are not a whole number of words are rejected.
+    #[test]
+    fn bitstream_rejects_ragged_bytes(words in proptest::collection::vec(0u32..u32::MAX, 1..50),
+                                      cut in 1usize..4) {
+        let bytes = Bitstream::from_words(words).to_bytes();
+        prop_assert!(Bitstream::from_bytes(&bytes[..bytes.len() - cut]).is_none());
+    }
+
+    /// Type-1 write headers survive encode → decode for every register
+    /// and count.
+    #[test]
+    fn type1_header_roundtrip(reg_idx in 0usize..12, count in 0usize..TYPE1_MAX_COUNT + 1) {
+        let reg = Register::ALL[reg_idx];
+        let p = Packet::write1(reg, count);
+        prop_assert_eq!(Packet::decode(p.encode()), Ok(p));
+    }
+
+    /// Type-2 write headers survive encode → decode across the whole
+    /// 27-bit count space.
+    #[test]
+    fn type2_header_roundtrip(count in 0usize..TYPE2_MAX_COUNT + 1) {
+        let p = Packet::write2(count);
+        prop_assert_eq!(Packet::decode(p.encode()), Ok(p));
+        if let Packet::Type2 { op, count: c } = Packet::decode(p.encode()).unwrap() {
+            prop_assert_eq!(op, Op::Write);
+            prop_assert_eq!(c, count);
+        }
+    }
+
+    /// A generated partial round-trips through the device-side packet
+    /// interpreter: encode → interp decode reproduces the image, CRC
+    /// checks and all.
+    #[test]
+    fn partial_roundtrips_through_interpreter(
+        bits in proptest::collection::vec((0usize..800, 0usize..300), 1..40)
+    ) {
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        let frame_bits = mem.geometry().frame_bits();
+        let frames = mem.frame_count();
+        for (f, b) in bits {
+            mem.set_bit(f % frames, b % frame_bits, true);
+        }
+        let ranges = coalesce_frames(mem.dirty_frames());
+        let partial = bitgen::partial_bitstream_par(&mem, &ranges);
+        let mut dev = Interpreter::new(Device::XCV50);
+        dev.feed(&partial).expect("partial decodes cleanly");
+        prop_assert_eq!(dev.memory(), &mem);
+    }
+
+    /// Coalescing is idempotent: re-flattening and re-coalescing the
+    /// ranges changes nothing.
+    #[test]
+    fn coalesce_is_idempotent(frames in proptest::collection::vec(0usize..1000, 0..120)) {
+        let ranges = coalesce_frames(frames);
+        let flat: Vec<usize> = ranges.iter().flat_map(FrameRange::frames).collect();
+        prop_assert_eq!(coalesce_frames(flat), ranges);
+    }
+
+    /// Coalescing is invariant under input ordering and duplication, so
+    /// the emitted packet stream — and with it the running CRC — is
+    /// byte-for-byte stable no matter how the dirty set was collected.
+    #[test]
+    fn crc_is_stable_under_coalescing_order(
+        frames in proptest::collection::vec(0usize..900, 1..80),
+        rot in 0usize..80
+    ) {
+        let mut mem = ConfigMemory::new(Device::XCV100);
+        let frames: Vec<usize> = frames.into_iter().map(|f| f % mem.frame_count()).collect();
+        for &f in &frames {
+            mem.set_bit(f, 3, true);
+        }
+        // Same set, different presentation orders (rotated + duplicated).
+        let mut shuffled = frames.clone();
+        let pivot = rot % shuffled.len();
+        shuffled.rotate_left(pivot);
+        shuffled.extend_from_slice(&frames[..frames.len() / 2]);
+
+        let a = coalesce_frames(frames);
+        let b = coalesce_frames(shuffled);
+        prop_assert_eq!(&a, &b);
+        let bs_a = bitgen::partial_bitstream(&mem, &a);
+        let bs_b = bitgen::partial_bitstream_par(&mem, &b);
+        prop_assert_eq!(bs_a.to_bytes(), bs_b.to_bytes());
+    }
+}

@@ -209,8 +209,7 @@ mod tests {
             verify_mapping: true,
             ..FlowOptions::default()
         };
-        let (design, report) =
-            implement(&nl, Device::XCV50, &cons, "m/", None, &opts).unwrap();
+        let (design, report) = implement(&nl, Device::XCV50, &cons, "m/", None, &opts).unwrap();
         assert!(design.fully_placed());
         assert!(design.fully_routed());
         verify_routing(&design).unwrap();

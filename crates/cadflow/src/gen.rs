@@ -182,8 +182,7 @@ pub fn tmr_counter(name: &str, width: usize) -> Netlist {
     // Majority vote per bit (ab | ac | bc) and per-bit dissent.
     let mut voted = Vec::with_capacity(width);
     let mut dissent = Vec::new();
-    for i in 0..width {
-        let (a, c, d) = (replicas[0][i], replicas[1][i], replicas[2][i]);
+    for ((&a, &c), &d) in replicas[0].iter().zip(&replicas[1]).zip(&replicas[2]) {
         let ab = b.and(a, c);
         let ac = b.and(a, d);
         let bc = b.and(c, d);

@@ -59,8 +59,8 @@ enum Tok {
 }
 
 const PUNCTS: [&str; 25] = [
-    "<<", ">>", "==", "!=", "<=", ">=", "<", ">", "[", "]", "(", ")", ":", ";", "=", "?", "~",
-    "&", "|", "^", "+", "-", ",", "{", "}",
+    "<<", ">>", "==", "!=", "<=", ">=", "<", ">", "[", "]", "(", ")", ":", ";", "=", "?", "~", "&",
+    "|", "^", "+", "-", ",", "{", "}",
 ];
 
 fn lex(src: &str) -> Result<Vec<(usize, Tok)>, HdlError> {
@@ -87,18 +87,18 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, HdlError> {
                     .find(|ch: char| !ch.is_ascii_alphanumeric())
                     .unwrap_or(rest.len());
                 let text = &rest[..end];
-                let value = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X"))
-                {
-                    u64::from_str_radix(hex, 16)
-                } else if let Some(bin) = text.strip_prefix("0b").or(text.strip_prefix("0B")) {
-                    u64::from_str_radix(bin, 2)
-                } else {
-                    text.parse()
-                }
-                .map_err(|_| HdlError {
-                    line,
-                    message: format!("bad number {text:?}"),
-                })?;
+                let value =
+                    if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
+                        u64::from_str_radix(hex, 16)
+                    } else if let Some(bin) = text.strip_prefix("0b").or(text.strip_prefix("0B")) {
+                        u64::from_str_radix(bin, 2)
+                    } else {
+                        text.parse()
+                    }
+                    .map_err(|_| HdlError {
+                        line,
+                        message: format!("bad number {text:?}"),
+                    })?;
                 out.push((line, Tok::Number(value)));
                 rest = &rest[end..];
             } else if c.is_ascii_alphabetic() || c == '_' {
@@ -500,14 +500,11 @@ impl<'a> Elaborator<'a> {
             }
             DeclKind::Wire | DeclKind::Output => {
                 if self.resolving.iter().any(|n| n == name) {
-                    return Err(self.err(
-                        line,
-                        format!("combinational cycle through {name:?}"),
-                    ));
+                    return Err(self.err(line, format!("combinational cycle through {name:?}")));
                 }
-                let stmt = self.stmt_for(name, false).ok_or_else(|| {
-                    self.err(line, format!("{name:?} has no assign driving it"))
-                })?;
+                let stmt = self
+                    .stmt_for(name, false)
+                    .ok_or_else(|| self.err(line, format!("{name:?} has no assign driving it")))?;
                 self.resolving.push(name.to_string());
                 let width = self.decl(name).unwrap().width;
                 let mut bits = self.eval(&stmt.expr, stmt.line)?;
@@ -556,13 +553,13 @@ impl<'a> Elaborator<'a> {
                 let w = bits.len();
                 let zero = self.b.constant(false);
                 let mut out = vec![zero; w];
-                for i in 0..w {
+                for (i, slot) in out.iter_mut().enumerate() {
                     let src = match *op {
                         "<<" => i.checked_sub(*n),
                         _ => i.checked_add(*n).filter(|j| *j < w),
                     };
                     if let Some(j) = src {
-                        out[i] = bits[j];
+                        *slot = bits[j];
                     }
                 }
                 Ok(out)
@@ -995,10 +992,7 @@ endmodule
         for (src, needle) in [
             ("module m;\n  input a\nendmodule", "expected"),
             ("module m;\n  output o;\nendmodule", "no assign"),
-            (
-                "module m;\n  reg r;\nendmodule",
-                "no next",
-            ),
+            ("module m;\n  reg r;\nendmodule", "no next"),
             (
                 "module m;\n  input a;\n  assign a = a;\nendmodule",
                 "not a wire",
@@ -1015,7 +1009,10 @@ endmodule
                 "module m;\n  input a;\n  input a;\n  output o;\n  assign o = a;\nendmodule",
                 "duplicate",
             ),
-            ("module m;\n  output o;\n  assign o = $;\nendmodule", "unexpected character"),
+            (
+                "module m;\n  output o;\n  assign o = $;\nendmodule",
+                "unexpected character",
+            ),
         ] {
             let err = synthesize(src).unwrap_err();
             assert!(

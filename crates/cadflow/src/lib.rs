@@ -23,26 +23,25 @@
 
 pub mod eval;
 
+pub mod flow;
 pub mod gen;
 pub mod hdl;
-pub mod flow;
-pub mod route;
-pub mod timing;
 pub mod map;
 pub mod netlist;
 pub mod opt;
 pub mod pack;
 pub mod place;
-
+pub mod route;
+pub mod timing;
 
 pub use eval::Simulator;
 pub use flow::{implement, merge_designs, FlowError, FlowOptions, FlowReport};
+pub use hdl::{synthesize, HdlError};
+pub use map::{map_netlist, MappedNetlist};
 pub use netlist::merge_netlists;
+pub use netlist::{GateKind, Netlist, NetlistBuilder, SignalId};
 pub use opt::{optimize, OptStats};
 pub use pack::{pack, pack_with_prefix};
 pub use place::{place, PlaceError, PlaceOptions};
 pub use route::{route, verify_routing, RouteError, RouteOptions};
 pub use timing::{analyze as timing_analyze, TimingReport};
-pub use hdl::{synthesize, HdlError};
-pub use map::{map_netlist, MappedNetlist};
-pub use netlist::{GateKind, Netlist, NetlistBuilder, SignalId};

@@ -219,11 +219,8 @@ impl<'a> Mapper<'a> {
                     None => {
                         // Too wide: materialize the widest operands until
                         // the merge fits.
-                        let mut ops: Vec<(SignalId, Cone)> = vec![
-                            (gate.a, ca),
-                            (gate.b, cb),
-                            (gate.sel, cs),
-                        ];
+                        let mut ops: Vec<(SignalId, Cone)> =
+                            vec![(gate.a, ca), (gate.b, cb), (gate.sel, cs)];
                         loop {
                             // Materialize the operand with the widest cone
                             // that is not already a leaf.
@@ -255,12 +252,9 @@ impl<'a> Mapper<'a> {
                                     .map(|(_, c)| c.clone())
                                     .unwrap()
                             };
-                            if let Some(c) = compose(
-                                gate.kind,
-                                &find(gate.a),
-                                &find(gate.b),
-                                &find(gate.sel),
-                            ) {
+                            if let Some(c) =
+                                compose(gate.kind, &find(gate.a), &find(gate.b), &find(gate.sel))
+                            {
                                 break c;
                             }
                         }
@@ -363,11 +357,7 @@ pub fn map_netlist(nl: &Netlist) -> MappedNetlist {
     // Each FF becomes the register on the LUT computing its D.
     for (di, d) in nl.dffs.iter().enumerate() {
         let cone = m.cone_of(d.d);
-        let inputs: Vec<NetId> = cone
-            .support
-            .iter()
-            .map(|s| m.nets[s])
-            .collect();
+        let inputs: Vec<NetId> = cone.support.iter().map(|s| m.nets[s]).collect();
         let out = m.nets[&d.q];
         let _ = di;
         m.out.luts.push(LutCell {
@@ -397,7 +387,12 @@ pub fn map_netlist(nl: &Netlist) -> MappedNetlist {
 
 /// Check a mapped netlist against the golden simulator on random vectors:
 /// returns the first mismatching output name, if any.
-pub fn verify_mapping(nl: &Netlist, mapped: &MappedNetlist, cycles: usize, seed: u64) -> Option<String> {
+pub fn verify_mapping(
+    nl: &Netlist,
+    mapped: &MappedNetlist,
+    cycles: usize,
+    seed: u64,
+) -> Option<String> {
     use crate::eval::Simulator;
 
     let mut golden = Simulator::new(nl);
@@ -477,9 +472,9 @@ impl<'a> MappedSim<'a> {
         }
         // FFs first (their outputs are state), then combinational in
         // dependency order.
-        for i in 0..m.luts.len() {
-            if m.luts[i].ff_init.is_some() {
-                state[i] = 2;
+        for (s, lut) in state.iter_mut().zip(&m.luts) {
+            if lut.ff_init.is_some() {
+                *s = 2;
                 // not in comb order
             }
         }

@@ -96,10 +96,7 @@ impl Netlist {
 
     /// Look up an input port signal by name.
     pub fn input(&self, name: &str) -> Option<SignalId> {
-        self.inputs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| *s)
+        self.inputs.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
     }
 
     /// Look up an output port signal by name.
@@ -251,7 +248,9 @@ impl NetlistBuilder {
 
     /// Declare a bus of input ports `name[0..width]`.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<SignalId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Declare an output port driven by `sig`.
@@ -333,11 +332,7 @@ impl NetlistBuilder {
     }
 
     /// Reduce a slice with a balanced tree of `op` gates.
-    pub fn reduce(
-        &mut self,
-        op: GateKind,
-        sigs: &[SignalId],
-    ) -> SignalId {
+    pub fn reduce(&mut self, op: GateKind, sigs: &[SignalId]) -> SignalId {
         assert!(!sigs.is_empty(), "reduce of empty slice");
         let mut layer: Vec<SignalId> = sigs.to_vec();
         while layer.len() > 1 {
@@ -427,8 +422,7 @@ mod tests {
         b.output("z", z);
         let nl = b.build();
         let order = nl.topo_order();
-        let pos: HashMap<u32, usize> =
-            order.iter().enumerate().map(|(i, s)| (s.0, i)).collect();
+        let pos: HashMap<u32, usize> = order.iter().enumerate().map(|(i, s)| (s.0, i)).collect();
         assert!(pos[&a.0] < pos[&x.0]);
         assert!(pos[&x.0] < pos[&y.0]);
         assert!(pos[&y.0] < pos[&z.0]);

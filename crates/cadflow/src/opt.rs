@@ -95,8 +95,9 @@ impl<'a> Optimizer<'a> {
                 | (GateKind::And, _, Val::Const(false), _) => Some(Val::Const(false)),
                 (GateKind::And, Val::Const(true), x, _)
                 | (GateKind::And, x, Val::Const(true), _) => Some(x),
-                (GateKind::Or, Val::Const(true), _, _)
-                | (GateKind::Or, _, Val::Const(true), _) => Some(Val::Const(true)),
+                (GateKind::Or, Val::Const(true), _, _) | (GateKind::Or, _, Val::Const(true), _) => {
+                    Some(Val::Const(true))
+                }
                 (GateKind::Or, Val::Const(false), x, _)
                 | (GateKind::Or, x, Val::Const(false), _) => Some(x),
                 (GateKind::Xor, Val::Const(false), x, _)
@@ -126,7 +127,16 @@ impl<'a> Optimizer<'a> {
                 }
                 _ => (a, b),
             };
-            let key = (g.kind, na, nb, if g.kind == GateKind::Mux { sel } else { Val::Const(false) });
+            let key = (
+                g.kind,
+                na,
+                nb,
+                if g.kind == GateKind::Mux {
+                    sel
+                } else {
+                    Val::Const(false)
+                },
+            );
             match cse.get(&key) {
                 Some(&canon) if canon != out => {
                     self.resolved[out.0 as usize] = Val::Sig(canon);
@@ -166,7 +176,7 @@ pub fn optimize(nl: &Netlist) -> (Netlist, OptStats) {
     // Liveness from outputs and (live) FFs.
     let mut live = vec![false; nl.signal_count()];
     let mut stack: Vec<SignalId> = Vec::new();
-    let mut push = |stack: &mut Vec<SignalId>, live: &mut Vec<bool>, v: Val| {
+    let push = |stack: &mut Vec<SignalId>, live: &mut Vec<bool>, v: Val| {
         if let Val::Sig(s) = v {
             if !live[s.0 as usize] {
                 live[s.0 as usize] = true;
@@ -212,7 +222,7 @@ pub fn optimize(nl: &Netlist) -> (Netlist, OptStats) {
     let mut new_id: HashMap<SignalId, SignalId> = HashMap::new();
     let mut const_ids: HashMap<bool, SignalId> = HashMap::new();
 
-    let mut fresh = |out: &mut Netlist, d: Driver| {
+    let fresh = |out: &mut Netlist, d: Driver| {
         let id = SignalId(out.drivers.len() as u32);
         out.drivers.push(d);
         id

@@ -172,13 +172,13 @@ pub fn place(
                 None
             }
         });
-        let guided = guide.and_then(|g| g.instance(&inst.name)).and_then(|gi| {
-            match gi.placement {
+        let guided = guide
+            .and_then(|g| g.instance(&inst.name))
+            .and_then(|gi| match gi.placement {
                 Placement::Slice(s) => Some(Site::Slice(s)),
                 Placement::Iob(io) => Some(Site::Iob(io)),
                 Placement::Unplaced => None,
-            }
-        });
+            });
         let want: Option<Site> = match (loc, inst.kind) {
             (Some(xdl::ucf::LocTarget::Slice(s)), InstanceKind::Slice) => Some(Site::Slice(s)),
             (Some(xdl::ucf::LocTarget::Tile(t)), InstanceKind::Slice) => {
@@ -308,8 +308,7 @@ fn anneal(
         .filter(|&i| !prob.fixed[i])
         .collect();
     let mut report = PlaceReport::default();
-    let total_cost =
-        |p: &Problem| -> u64 { p.nets.iter().map(|net| hpwl(net, &p.site_of)).sum() };
+    let total_cost = |p: &Problem| -> u64 { p.nets.iter().map(|net| hpwl(net, &p.site_of)).sum() };
     let mut cost = total_cost(prob);
     if movable.is_empty() || prob.nets.is_empty() {
         report.wirelength = cost;
@@ -319,8 +318,7 @@ fn anneal(
     let g = device.geometry();
     let span = (g.clb_rows + g.clb_cols) as u64;
     let mut temp = (cost as f64 / prob.nets.len().max(1) as f64).max(1.0);
-    let moves_per_temp =
-        ((movable.len() * 12) as f64 * opts.effort).ceil() as usize;
+    let moves_per_temp = ((movable.len() * 12) as f64 * opts.effort).ceil() as usize;
     let iob_pool = all_iob_sites(device);
     // Candidate pools per distinct domain, computed once.
     let mut pool_cache: HashMap<Option<Rect>, Vec<SliceCoord>> = HashMap::new();
@@ -385,8 +383,7 @@ fn anneal(
                 .map(|&ni| hpwl(&prob.nets[ni], &prob.site_of))
                 .sum();
             let delta = after as i64 - before as i64;
-            let accept = delta <= 0
-                || rng.gen_bool((-(delta as f64) / temp).exp().clamp(0.0, 1.0));
+            let accept = delta <= 0 || rng.gen_bool((-(delta as f64) / temp).exp().clamp(0.0, 1.0));
             if accept {
                 occupied.remove(&old);
                 if let Some(j) = other {

@@ -16,9 +16,7 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
-use virtex::{
-    IobCoord, Pip, RoutingGraph, SliceCoord, SlicePin, TileCoord, Wire, WireKind,
-};
+use virtex::{IobCoord, Pip, RoutingGraph, SliceCoord, SlicePin, TileCoord, Wire, WireKind};
 use xdl::{Design, InstanceKind, NetKind, PinRef, Placement};
 
 /// Router options.
@@ -442,10 +440,8 @@ fn route_signal(
                 // sinks, other nets' pins are off limits. Only the exact
                 // sink pin terminates.
                 match next.kind {
-                    WireKind::SlicePin { .. } | WireKind::PadOut(_) => {
-                        if next != sink {
-                            continue;
-                        }
+                    WireKind::SlicePin { .. } | WireKind::PadOut(_) if next != sink => {
+                        continue;
                     }
                     WireKind::GlobalClock(_) => continue, // clock tree reserved
                     _ => {}
@@ -510,8 +506,7 @@ pub fn verify_routing(design: &Design) -> Result<(), String> {
         if net.kind == NetKind::Power {
             continue;
         }
-        let source =
-            pin_wire(design, outpin).map_err(|e| format!("net {}: {e}", net.name))?;
+        let source = pin_wire(design, outpin).map_err(|e| format!("net {}: {e}", net.name))?;
         let mut reached: HashSet<Wire> = [source].into_iter().collect();
         for pip in &net.pips {
             // PIP must exist (clock-tree pips are virtual but validated
@@ -525,10 +520,7 @@ pub fn verify_routing(design: &Design) -> Result<(), String> {
                 return Err(format!("net {}: pip {} not in fabric", net.name, pip));
             }
             if !reached.contains(&pip.from) {
-                return Err(format!(
-                    "net {}: pip {} hangs off the tree",
-                    net.name, pip
-                ));
+                return Err(format!("net {}: pip {} hangs off the tree", net.name, pip));
             }
             reached.insert(pip.to);
         }
@@ -611,14 +603,11 @@ AREA_GROUP "AG" RANGE = CLB_R1C1:CLB_R6C6 ;
             .pips
             .iter()
             .any(|p| matches!(p.to.kind, WireKind::GlobalClock(_))));
-        assert!(clk
-            .pips
-            .iter()
-            .all(|p| matches!(
-                (p.from.kind, p.to.kind),
-                (WireKind::PadIn(_), WireKind::GlobalClock(_))
-                    | (WireKind::GlobalClock(_), WireKind::SlicePin { .. })
-            )));
+        assert!(clk.pips.iter().all(|p| matches!(
+            (p.from.kind, p.to.kind),
+            (WireKind::PadIn(_), WireKind::GlobalClock(_))
+                | (WireKind::GlobalClock(_), WireKind::SlicePin { .. })
+        )));
     }
 
     #[test]
@@ -645,7 +634,16 @@ AREA_GROUP "AG" RANGE = CLB_R1C5:CLB_R16C12 ;
         let m = map_netlist(&nl);
         let mut d = pack_with_prefix(&m, Device::XCV50, "");
         let cons = Constraints::parse(ucf).unwrap();
-        place(&mut d, &cons, None, &PlaceOptions { seed: 4, effort: 1.0 }).unwrap();
+        place(
+            &mut d,
+            &cons,
+            None,
+            &PlaceOptions {
+                seed: 4,
+                effort: 1.0,
+            },
+        )
+        .unwrap();
         let opts = RouteOptions {
             region_cols: Some((4, 11)),
             ..RouteOptions::default()
@@ -687,7 +685,16 @@ AREA_GROUP "AG" RANGE = CLB_R1C5:CLB_R16C12 ;
         let m = map_netlist(&nl);
         let mut d = pack_with_prefix(&m, Device::XCV50, "");
         let cons = Constraints::default();
-        place(&mut d, &cons, None, &PlaceOptions { seed: 2, effort: 1.0 }).unwrap();
+        place(
+            &mut d,
+            &cons,
+            None,
+            &PlaceOptions {
+                seed: 2,
+                effort: 1.0,
+            },
+        )
+        .unwrap();
         let mut opts = RouteOptions {
             negotiate: false,
             ..RouteOptions::default()

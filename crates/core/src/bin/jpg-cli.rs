@@ -45,7 +45,10 @@ fn info(args: &[String]) -> ExitCode {
         Ok(f) => {
             println!("design : {}", f.design);
             println!("device : {}", f.device);
-            println!("kind   : {}", if f.partial { "partial" } else { "complete" });
+            println!(
+                "kind   : {}",
+                if f.partial { "partial" } else { "complete" }
+            );
             println!("payload: {} bytes", f.bitstream.byte_len());
             ExitCode::SUCCESS
         }
@@ -92,7 +95,9 @@ fn partial(args: &[String]) -> ExitCode {
         let base_bytes = std::fs::read(&base_path).map_err(|e| format!("{base_path}: {e}"))?;
         let base = BitFile::from_bytes(&base_bytes).map_err(|e| format!("{base_path}: {e}"))?;
         if base.partial {
-            return Err(format!("{base_path}: base design must be a complete bitstream"));
+            return Err(format!(
+                "{base_path}: base design must be a complete bitstream"
+            ));
         }
         let xdl_text =
             std::fs::read_to_string(&xdl_path).map_err(|e| format!("{xdl_path}: {e}"))?;
@@ -119,7 +124,9 @@ fn partial(args: &[String]) -> ExitCode {
         eprintln!("wrote {out_path}");
 
         if let Some(merge_path) = flags.get("merge").filter(|v| !v.is_empty()) {
-            project.write_onto_base(&result).map_err(|e| e.to_string())?;
+            project
+                .write_onto_base(&result)
+                .map_err(|e| e.to_string())?;
             std::fs::write(merge_path, project.base_bitstream().to_bytes())
                 .map_err(|e| format!("{merge_path}: {e}"))?;
             eprintln!("wrote {merge_path} (base with module applied)");

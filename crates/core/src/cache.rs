@@ -1,0 +1,271 @@
+//! Content-hash frame cache for incremental partial-bitstream generation.
+//!
+//! When JPG batch-generates a library of variants against one base
+//! design, most frames of a stamped variant image are byte-identical to
+//! the base — the erased-and-rewritten columns carry the only changes,
+//! and even inside them many frames come out equal. The cache stores a
+//! 128-bit content hash per frame of the base, keyed by the frame's full
+//! address `(device, block, major, minor)`, so any worker can ask "does
+//! this frame still hold base content?" without touching the base image
+//! itself (one shared read-mostly map instead of per-variant full-memory
+//! diffs).
+//!
+//! Hashes are FNV-1a/128. A collision would silently drop a changed
+//! frame from a partial; at 128 bits that is vanishingly unlikely, and
+//! the incremental generator cross-checks against a real content diff in
+//! debug builds (see `JpgProject::generate_partial_incremental`).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
+use virtex::{ConfigMemory, Device, FrameAddress};
+
+/// Multiply-fold hasher for [`FrameKey`]s. Keys are a handful of small
+/// integer fields, so one multiply per written field beats a general
+/// streaming hasher; lookups happen once per dirty frame per variant.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl KeyHasher {
+    fn fold(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.fold(b as u64);
+        }
+    }
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+    fn write_u16(&mut self, v: u16) {
+        self.fold(v as u64);
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+    fn write_isize(&mut self, v: isize) {
+        self.fold(v as u64);
+    }
+}
+
+type KeyMap = HashMap<FrameKey, u128, BuildHasherDefault<KeyHasher>>;
+
+/// Cache key: one frame of one device, by full address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameKey {
+    /// The device the frame belongs to.
+    pub device: Device,
+    /// The frame's `(block, major, minor)` address.
+    pub far: FrameAddress,
+}
+
+impl FrameKey {
+    /// Key for linear frame `idx` of `mem`'s device.
+    pub fn of(mem: &ConfigMemory, idx: usize) -> FrameKey {
+        FrameKey {
+            device: mem.device(),
+            far: mem.geometry().frame_address(idx).expect("frame in range"),
+        }
+    }
+}
+
+/// FNV-1a over the frame's words, 128-bit variant, folding a whole word
+/// per multiply (frames are word-granular, so there is no need to pay
+/// four multiplies per word for byte addressing).
+pub fn frame_hash(words: &[u32]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &w in words {
+        h ^= w as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A shared, thread-safe map from frame address to base-content hash.
+#[derive(Debug, Default)]
+pub struct FrameCache {
+    map: RwLock<KeyMap>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl FrameCache {
+    /// An empty cache.
+    pub fn new() -> FrameCache {
+        FrameCache::default()
+    }
+
+    /// Hash every frame of `mem` into the cache — called once with the
+    /// base image before generating a variant library against it.
+    pub fn prime(&self, mem: &ConfigMemory) {
+        self.prime_frames(mem, 0..mem.frame_count());
+    }
+
+    /// [`Self::prime`], restricted to `frames` (linear indices). A
+    /// library builder that knows which columns its partials can touch
+    /// (the module region plus the IOB edge columns) primes just those;
+    /// a dirty frame that was never primed is simply a cache miss and
+    /// gets emitted, so under-priming costs bytes, never correctness.
+    pub fn prime_frames(&self, mem: &ConfigMemory, frames: impl IntoIterator<Item = usize>) {
+        let frames = frames.into_iter();
+        let mut map = self.map.write().expect("cache lock");
+        map.reserve(frames.size_hint().0);
+        for idx in frames {
+            map.insert(FrameKey::of(mem, idx), frame_hash(mem.frame(idx)));
+        }
+    }
+
+    /// Record one frame's content hash.
+    pub fn insert(&self, key: FrameKey, hash: u128) {
+        self.map.write().expect("cache lock").insert(key, hash);
+    }
+
+    /// The cached hash for `key`, if any.
+    pub fn get(&self, key: FrameKey) -> Option<u128> {
+        self.map.read().expect("cache lock").get(&key).copied()
+    }
+
+    /// Whether `words` hash-matches the cached entry for `key`. A match
+    /// counts as a hit (the frame can be skipped); a differing or absent
+    /// entry counts as a miss (the frame must be emitted).
+    pub fn matches(&self, key: FrameKey, words: &[u32]) -> bool {
+        let cached = self.get(key);
+        if cached == Some(frame_hash(words)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Of `frames` (linear indices into `mem`), those whose content no
+    /// longer hash-matches the cached base entry — the frames a partial
+    /// must emit. One lock acquisition for the whole batch; hit/miss
+    /// counters update as in [`Self::matches`].
+    pub fn filter_changed(
+        &self,
+        mem: &ConfigMemory,
+        frames: impl IntoIterator<Item = usize>,
+    ) -> Vec<usize> {
+        let map = self.map.read().expect("cache lock");
+        let device = mem.device();
+        let geom = mem.geometry();
+        let mut changed = Vec::new();
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for f in frames {
+            total += 1;
+            let key = FrameKey {
+                device,
+                far: geom.frame_address(f).expect("frame in range"),
+            };
+            if map.get(&key).copied() == Some(frame_hash(mem.frame(f))) {
+                hits += 1;
+            } else {
+                changed.push(f);
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(total - hits, Ordering::Relaxed);
+        changed
+    }
+
+    /// Number of cached frames.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Skipped-frame lookups so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Emitted-frame lookups so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_distinguishes_content() {
+        let a = frame_hash(&[0, 0, 0]);
+        let b = frame_hash(&[0, 1, 0]);
+        let c = frame_hash(&[0, 0]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, frame_hash(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn primed_cache_matches_base_and_flags_changes() {
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        mem.set_bit(5, 17, true);
+        let cache = FrameCache::new();
+        cache.prime(&mem);
+        assert_eq!(cache.len(), mem.frame_count());
+
+        let key = FrameKey::of(&mem, 5);
+        assert!(cache.matches(key, mem.frame(5)));
+        assert_eq!(cache.hits(), 1);
+
+        let mut changed = mem.frame(5).to_vec();
+        changed[0] ^= 1;
+        assert!(!cache.matches(key, &changed));
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn filter_changed_returns_exactly_the_modified_frames() {
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        mem.set_bit(3, 9, true);
+        let cache = FrameCache::new();
+        cache.prime(&mem);
+
+        mem.set_bit(7, 0, true);
+        mem.set_bit(11, 4, true);
+        assert_eq!(cache.filter_changed(&mem, [3, 7, 9, 11]), vec![7, 11]);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn absent_key_is_a_miss() {
+        let mem = ConfigMemory::new(Device::XCV50);
+        let cache = FrameCache::new();
+        assert!(!cache.matches(FrameKey::of(&mem, 0), mem.frame(0)));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn keys_distinguish_devices() {
+        let a = ConfigMemory::new(Device::XCV50);
+        let b = ConfigMemory::new(Device::XCV100);
+        assert_ne!(FrameKey::of(&a, 0), FrameKey::of(&b, 0));
+    }
+}

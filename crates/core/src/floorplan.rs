@@ -109,6 +109,8 @@ mod tests {
         let g = Device::XCV1000.geometry();
         let lines: Vec<&str> = plan.lines().collect();
         assert_eq!(lines.len(), g.clb_rows + 3);
-        assert!(lines[1..].iter().all(|l| l.chars().count() == g.clb_cols + 2));
+        assert!(lines[1..]
+            .iter()
+            .all(|l| l.chars().count() == g.clb_cols + 2));
     }
 }

@@ -50,11 +50,13 @@
 //! assert!(partial.bitstream.byte_len() < base.bitstream.bitstream.byte_len() / 2);
 //! ```
 
+pub mod cache;
 pub mod floorplan;
 pub mod project;
 pub mod translate;
 pub mod workflow;
 
+pub use cache::{frame_hash, FrameCache, FrameKey};
 pub use floorplan::render_floorplan;
 pub use project::{JpgError, JpgProject, PartialResult};
 pub use translate::{apply_design, TranslateError, TranslateStats};

@@ -56,7 +56,12 @@ impl fmt::Display for JpgError {
             }
             JpgError::EmptyModule => write!(f, "module has no placed logic"),
             JpgError::Drc(v) => {
-                write!(f, "module fails {} design-rule check(s); first: {}", v.len(), v[0])
+                write!(
+                    f,
+                    "module fails {} design-rule check(s); first: {}",
+                    v.len(),
+                    v[0]
+                )
             }
             JpgError::BaseMismatch { frames } => write!(
                 f,
@@ -183,11 +188,114 @@ impl JpgProject {
 
     /// Generate a partial bitstream from an in-memory design database
     /// (what `generate_partial` does after parsing).
+    ///
+    /// The partial covers the module's configuration columns wholesale,
+    /// so it is safe to apply whatever the region currently holds (the
+    /// base module or any earlier variant).
     pub fn generate_partial_from(
         &self,
         design: &Design,
         constraints: &Constraints,
     ) -> Result<PartialResult, JpgError> {
+        let stamped = self.stamp_module(design, constraints)?;
+        // The target columns wholesale, coalesced into maximal runs, and
+        // emitted with the column-sharded parallel generator (its output
+        // is byte-identical to the serial path; the test suite pins it).
+        let frames: Vec<usize> = stamped.ranges.iter().flat_map(|r| r.frames()).collect();
+        let runs = bitgen::coalesce_frames(frames);
+        let bits = bitgen::partial_bitstream_par(&stamped.memory, &runs);
+        let total_frames: usize = runs.iter().map(|r| r.len).sum();
+        Ok(self.finish_partial(design, constraints, stamped, bits, total_frames))
+    }
+
+    /// Generate an **incremental** partial bitstream: only frames whose
+    /// content actually differs from the base design are emitted, decided
+    /// by the session's dirty-frame byproduct plus `cache` (primed with
+    /// the base image's content hashes — see [`crate::cache::FrameCache`]).
+    ///
+    /// The result is smaller than [`Self::generate_partial_from`]'s, but
+    /// it only restores the module region correctly when the region
+    /// currently holds **base content** (first configuration after the
+    /// complete bitstream, or after a scrub). To swap one variant for
+    /// another directly, use the wholesale generator.
+    pub fn generate_partial_incremental(
+        &self,
+        design: &Design,
+        constraints: &Constraints,
+        cache: &crate::cache::FrameCache,
+    ) -> Result<PartialResult, JpgError> {
+        let stamped = self.stamp_module(design, constraints)?;
+        let memory = &stamped.memory;
+        // A frame needs emitting only if (a) the stamp touched it — the
+        // dirty byproduct, no full-memory scan — and (b) its content no
+        // longer hash-matches the base.
+        let frames = cache.filter_changed(
+            memory,
+            stamped
+                .ranges
+                .iter()
+                .flat_map(|r| r.frames())
+                .filter(|&f| memory.is_frame_dirty(f)),
+        );
+
+        // Cross-check against the ground-truth content diff in debug
+        // builds: the cheap dirty+hash decision must agree with a real
+        // frame-by-frame comparison over the module's columns.
+        #[cfg(debug_assertions)]
+        {
+            let ground: Vec<usize> = stamped
+                .ranges
+                .iter()
+                .flat_map(|r| r.frames())
+                .filter(|&f| memory.frame(f) != self.base.frame(f))
+                .collect();
+            debug_assert_eq!(
+                frames, ground,
+                "dirty+hash emission set diverged from the content diff"
+            );
+        }
+
+        // Bridge single-frame gaps: re-emitting one unchanged frame is
+        // cheaper than a fresh packet run plus its pipeline pad frame.
+        let runs = bitgen::coalesce_frames_bridged(frames, 1);
+        let bits = bitgen::partial_bitstream_par(memory, &runs);
+        let total_frames: usize = runs.iter().map(|r| r.len).sum();
+        Ok(self.finish_partial(design, constraints, stamped, bits, total_frames))
+    }
+
+    /// The pre-incremental reference engine, kept as a cross-check and
+    /// as the baseline `benches/par_generation` measures against: stamp
+    /// the module, decide what to emit with a ground-truth **full-memory
+    /// diff** against the base (no dirty byproduct, no frame cache),
+    /// expand the diff to whole configuration columns and emit with the
+    /// **serial** writer — the classic JBitsDiff column flow.
+    ///
+    /// Like [`Self::generate_partial_from`], the output covers whole
+    /// columns, so it is safe to apply over any earlier variant.
+    pub fn generate_partial_full_diff(
+        &self,
+        design: &Design,
+        constraints: &Constraints,
+    ) -> Result<PartialResult, JpgError> {
+        let stamped = self.stamp_module(design, constraints)?;
+        let diff = stamped.memory.diff_frames(&self.base);
+        let frames = jbits::expand_to_columns(&stamped.memory, diff);
+        let runs = bitgen::coalesce_frames(frames);
+        let bits = bitgen::partial_bitstream(&stamped.memory, &runs);
+        let total_frames: usize = runs.iter().map(|r| r.len).sum();
+        Ok(self.finish_partial(design, constraints, stamped, bits, total_frames))
+    }
+
+    /// Shared front half of partial generation: validate the module,
+    /// derive its configuration columns, erase them in a copy of the base
+    /// and stamp the new module in with JBits calls. The returned image
+    /// carries the touched-frame set as dirty marks (erase and stamp
+    /// both count).
+    fn stamp_module(
+        &self,
+        design: &Design,
+        constraints: &Constraints,
+    ) -> Result<StampedModule, JpgError> {
         if design.device != self.device() {
             return Err(JpgError::DeviceMismatch {
                 module: design.device,
@@ -212,9 +320,7 @@ impl JpgProject {
             }
             match inst.placement {
                 Placement::Iob(io) if io.tile.col < 0 => use_left_iob_col = true,
-                Placement::Iob(io) if io.tile.col >= g.clb_cols as i32 => {
-                    use_right_iob_col = true
-                }
+                Placement::Iob(io) if io.tile.col >= g.clb_cols as i32 => use_right_iob_col = true,
                 Placement::Iob(io) => clb_cols.push(io.tile.col as usize),
                 _ => {}
             }
@@ -252,34 +358,48 @@ impl JpgProject {
         }
         if use_left_iob_col {
             ranges.push(
-                FrameRange::for_column(&geom, BlockType::Clb, iob_right_major + 1)
-                    .expect("column"),
+                FrameRange::for_column(&geom, BlockType::Clb, iob_right_major + 1).expect("column"),
             );
         }
 
         // Erase the module's columns in a copy of the base image (the old
         // module's logic and routing must not survive), then stamp the
-        // new module in with JBits calls.
+        // new module in with JBits calls. Dirty marks start clean at the
+        // base snapshot and accumulate through both the erase and the
+        // stamp, so afterwards `memory.dirty_frames()` is the
+        // touched-frame set — no full-memory diff needed.
         let mut mem = self.base.clone();
+        mem.clear_dirty();
         for r in &ranges {
             for f in r.frames() {
-                mem.frame_mut(f).fill(0);
+                mem.clear_frame(f);
             }
         }
-        let mut jb = Jbits::from_memory(mem);
+        let mut jb = Jbits::from_memory_tracked(mem);
         let stats = apply_design(&mut jb, design)?;
         let memory = jb.into_memory();
 
-        // The partial covers the target columns wholesale (coalesced into
-        // maximal runs).
-        let frames: Vec<usize> = ranges.iter().flat_map(|r| r.frames()).collect();
-        let runs = bitgen::coalesce_frames(frames);
-        let bits = bitgen::partial_bitstream(&memory, &runs);
-        let total_frames: usize = runs.iter().map(|r| r.len).sum();
+        Ok(StampedModule {
+            clb_cols,
+            ranges,
+            memory,
+            stats,
+        })
+    }
 
+    /// Shared back half: wrap an emitted bitstream into a
+    /// [`PartialResult`].
+    fn finish_partial(
+        &self,
+        design: &Design,
+        constraints: &Constraints,
+        stamped: StampedModule,
+        bits: Bitstream,
+        total_frames: usize,
+    ) -> PartialResult {
         let region = bounding_region(design, constraints);
         let floorplan = render_floorplan(self.device(), design, Some(region));
-        Ok(PartialResult {
+        PartialResult {
             bitfile: BitFile::new(
                 format!("{}+{}", self.name, design.name),
                 self.device(),
@@ -287,13 +407,13 @@ impl JpgProject {
                 bits.clone(),
             ),
             bitstream: bits,
-            clb_columns: clb_cols,
+            clb_columns: stamped.clb_cols,
             frames: total_frames,
-            stats,
-            memory,
+            stats: stamped.stats,
+            memory: stamped.memory,
             floorplan,
             region,
-        })
+        }
     }
 
     /// Paper option two: "write the partial bitstream onto the base
@@ -375,6 +495,16 @@ impl JpgProject {
         self.download(partial, board)?;
         Ok(())
     }
+}
+
+/// The front-half output of partial generation: the module's columns and
+/// the stamped configuration image (carrying the touched-frame set as
+/// dirty marks).
+struct StampedModule {
+    clb_cols: Vec<usize>,
+    ranges: Vec<FrameRange>,
+    memory: ConfigMemory,
+    stats: TranslateStats,
 }
 
 fn bounding_region(design: &Design, constraints: &Constraints) -> Rect {
@@ -490,9 +620,7 @@ mod tests {
         let b = base();
         let variant = implement_variant(&b, "mod1/", &gen::gray_counter("g", 3), 5).unwrap();
         b_proj = JpgProject::open(b.bitstream.clone()).unwrap();
-        let partial = b_proj
-            .generate_partial(&variant.xdl, &variant.ucf)
-            .unwrap();
+        let partial = b_proj.generate_partial(&variant.xdl, &variant.ucf).unwrap();
         b_proj.write_onto_base(&partial).unwrap();
         assert_eq!(b_proj.base_memory(), &partial.memory);
         // The regenerated complete bitstream reflects the update.

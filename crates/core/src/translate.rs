@@ -159,19 +159,39 @@ fn apply_slice_cfg(
             }
             "FXMUX" => {
                 let m = mux_value(value, "F").ok_or_else(|| bad(attr, value))?;
-                set(jb, SliceResource::FxMux, ResourceValue::new(m.encode(), 2), stats);
+                set(
+                    jb,
+                    SliceResource::FxMux,
+                    ResourceValue::new(m.encode(), 2),
+                    stats,
+                );
             }
             "GYMUX" => {
                 let m = mux_value(value, "G").ok_or_else(|| bad(attr, value))?;
-                set(jb, SliceResource::GyMux, ResourceValue::new(m.encode(), 2), stats);
+                set(
+                    jb,
+                    SliceResource::GyMux,
+                    ResourceValue::new(m.encode(), 2),
+                    stats,
+                );
             }
             "CEMUX" => {
                 let m = mux_value(value, "CE").ok_or_else(|| bad(attr, value))?;
-                set(jb, SliceResource::CeMux, ResourceValue::new(m.encode(), 2), stats);
+                set(
+                    jb,
+                    SliceResource::CeMux,
+                    ResourceValue::new(m.encode(), 2),
+                    stats,
+                );
             }
             "SRMUX" => {
                 let m = mux_value(value, "SR").ok_or_else(|| bad(attr, value))?;
-                set(jb, SliceResource::SrMux, ResourceValue::new(m.encode(), 2), stats);
+                set(
+                    jb,
+                    SliceResource::SrMux,
+                    ResourceValue::new(m.encode(), 2),
+                    stats,
+                );
             }
             "CKINV" => {
                 let v = match value {
@@ -215,11 +235,21 @@ fn apply_iob_cfg(
     for entry in &inst.cfg {
         match entry.attr.as_str() {
             "INBUF" => {
-                jb.set_iob(tile, pad, IobResource::InputEnable, ResourceValue::bit(true));
+                jb.set_iob(
+                    tile,
+                    pad,
+                    IobResource::InputEnable,
+                    ResourceValue::bit(true),
+                );
                 stats.iob_writes += 1;
             }
             "OUTBUF" => {
-                jb.set_iob(tile, pad, IobResource::OutputEnable, ResourceValue::bit(true));
+                jb.set_iob(
+                    tile,
+                    pad,
+                    IobResource::OutputEnable,
+                    ResourceValue::bit(true),
+                );
                 stats.iob_writes += 1;
             }
             "CLKBUF" | "_PINMAP" => {}

@@ -265,10 +265,77 @@ pub fn build_variant_library(
         .collect()
 }
 
+/// [`build_variant_library`], incremental flavour: one [`FrameCache`]
+/// (primed with the base image's content hashes) is shared across all
+/// variant workers, and each entry is generated with
+/// [`crate::project::JpgProject::generate_partial_incremental`] — only
+/// frames whose content differs from the base are emitted, found through
+/// the translation's dirty-frame byproduct plus a hash lookup instead of
+/// a full-memory diff per variant.
+///
+/// Library entries built this way apply correctly when the module region
+/// holds **base content**; to swap one variant directly for another, use
+/// the wholesale [`build_variant_library`].
+///
+/// [`FrameCache`]: crate::cache::FrameCache
+pub fn build_variant_library_incremental(
+    base: &BaseDesign,
+    prefix: &str,
+    variants: &[Netlist],
+    seed: u64,
+) -> Result<Vec<(String, crate::project::PartialResult)>, WorkflowError> {
+    use rayon::prelude::*;
+    let project = crate::project::JpgProject::from_memory("library", base.memory.clone());
+    let cache = crate::cache::FrameCache::new();
+    // A variant's dirty frames all lie in the module's region columns or
+    // the IOB edge columns (the pad frames of its ports), so only those
+    // need base hashes — any other frame would miss and be emitted,
+    // which never happens here and would be harmless if it did.
+    cache.prime_frames(
+        &base.memory,
+        region_frames(&base.memory, region_of(base, prefix)),
+    );
+    variants
+        .par_iter()
+        .enumerate()
+        .map(|(i, nl)| {
+            let v = implement_variant(base, prefix, nl, seed ^ ((i as u64) << 8))?;
+            let partial = project
+                .generate_partial_incremental(
+                    &v.design,
+                    &module_constraints(prefix, region_of(base, prefix)),
+                    &cache,
+                )
+                .map_err(|e| WorkflowError::Jpg {
+                    module: prefix.to_string(),
+                    message: e.to_string(),
+                })?;
+            Ok((nl.name.clone(), partial))
+        })
+        .collect()
+}
+
 fn region_of(base: &BaseDesign, prefix: &str) -> Rect {
     base.constraints
         .region_for(&format!("{prefix}x"))
         .expect("prefix has a region")
+}
+
+/// Linear frame indices of `region`'s CLB columns plus the two IOB edge
+/// columns — every frame a partial for a module floorplanned in `region`
+/// can write (mirrors the column set `stamp_module` derives).
+fn region_frames(mem: &ConfigMemory, region: Rect) -> Vec<usize> {
+    use bitstream::FrameRange;
+    use virtex::BlockType;
+    let geom = mem.geometry();
+    let iob_right_major = mem.device().geometry().clb_cols as u8 + 1;
+    region
+        .cols()
+        .filter_map(|c| geom.major_for_clb_col(c))
+        .chain([iob_right_major, iob_right_major + 1])
+        .filter_map(|major| FrameRange::for_column(geom, BlockType::Clb, major))
+        .flat_map(|r| r.frames())
+        .collect()
 }
 
 #[cfg(test)]
@@ -381,8 +448,7 @@ mod tests {
     #[test]
     fn variant_keeps_pads_on_base_sites() {
         let base = two_module_base();
-        let variant =
-            implement_variant(&base, "mod1/", &gen::down_counter("down", 3), 7).unwrap();
+        let variant = implement_variant(&base, "mod1/", &gen::down_counter("down", 3), 7).unwrap();
         // Interface instances (ports) share names with the base and must
         // sit on identical sites.
         for (inst, io) in variant.design.occupied_iobs() {

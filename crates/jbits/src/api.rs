@@ -18,13 +18,17 @@ pub enum Granularity {
     Column,
 }
 
-/// A JBits session: a configuration-memory image, the bit layout, and the
-/// set of frames dirtied since the last [`Jbits::clear_dirty`].
+/// A JBits session: a configuration-memory image and the bit layout.
+///
+/// Dirty-frame tracking lives in [`ConfigMemory`] itself (every write
+/// through this API marks the frame it lands in), so the touched-frame
+/// set falls out of a session as a byproduct — including writes that
+/// bypass the resource API and go through
+/// [`ConfigMemory::frame_mut`] directly.
 #[derive(Debug)]
 pub struct Jbits {
     mem: ConfigMemory,
     layout: Layout,
-    dirty: BTreeSet<usize>,
 }
 
 impl Jbits {
@@ -33,19 +37,28 @@ impl Jbits {
         Jbits {
             mem: ConfigMemory::new(device),
             layout: Layout::new(device),
-            dirty: BTreeSet::new(),
         }
     }
 
     /// Start from an existing configuration image (e.g. the base design's
-    /// complete bitstream, loaded with [`Jbits::from_bitstream`]).
-    pub fn from_memory(mem: ConfigMemory) -> Self {
+    /// complete bitstream, loaded with [`Jbits::from_bitstream`]). The
+    /// image becomes the session baseline: any dirty marks it carries are
+    /// cleared, so the dirty set afterwards reflects only this session's
+    /// edits.
+    pub fn from_memory(mut mem: ConfigMemory) -> Self {
+        mem.clear_dirty();
         let layout = Layout::new(mem.device());
-        Jbits {
-            mem,
-            layout,
-            dirty: BTreeSet::new(),
-        }
+        Jbits { mem, layout }
+    }
+
+    /// Like [`Jbits::from_memory`], but preserving the dirty marks the
+    /// image already carries. For callers that pre-edit the image outside
+    /// the resource API (e.g. erasing a module's columns through
+    /// [`ConfigMemory::frame_mut`]) and want those edits counted in the
+    /// session's touched-frame set.
+    pub fn from_memory_tracked(mem: ConfigMemory) -> Self {
+        let layout = Layout::new(mem.device());
+        Jbits { mem, layout }
     }
 
     /// Load a complete bitstream, as JPG does with the base design.
@@ -82,8 +95,8 @@ impl Jbits {
         assert_eq!(value.width(), res.bit_width(), "width mismatch for {res:?}");
         for i in 0..res.bit_width() {
             let pos = self.layout.clb_resource_bit(tile, res, i);
-            self.mem.set_bit(pos.frame, pos.bit, (value.bits() >> i) & 1 == 1);
-            self.dirty.insert(pos.frame);
+            self.mem
+                .set_bit(pos.frame, pos.bit, (value.bits() >> i) & 1 == 1);
         }
     }
 
@@ -110,8 +123,11 @@ impl Jbits {
 
     /// Get a LUT truth table.
     pub fn get_lut(&mut self, tile: TileCoord, slice: SliceId, lut: LutId) -> u16 {
-        self.get(tile, ClbResource::new(slice, virtex::SliceResource::Lut(lut)))
-            .bits() as u16
+        self.get(
+            tile,
+            ClbResource::new(slice, virtex::SliceResource::Lut(lut)),
+        )
+        .bits() as u16
     }
 
     // ----- IOB logic -----------------------------------------------------
@@ -121,8 +137,8 @@ impl Jbits {
         assert_eq!(value.width(), res.bit_width(), "width mismatch for {res:?}");
         for i in 0..res.bit_width() {
             let pos = self.layout.iob_resource_bit(tile, pad, res, i);
-            self.mem.set_bit(pos.frame, pos.bit, (value.bits() >> i) & 1 == 1);
-            self.dirty.insert(pos.frame);
+            self.mem
+                .set_bit(pos.frame, pos.bit, (value.bits() >> i) & 1 == 1);
         }
     }
 
@@ -146,7 +162,6 @@ impl Jbits {
         match self.layout.pip_pos(pip) {
             Some(pos) => {
                 self.mem.set_bit(pos.frame, pos.bit, on);
-                self.dirty.insert(pos.frame);
                 true
             }
             None => false,
@@ -171,16 +186,9 @@ impl Jbits {
     }
 
     /// Write a capture slot (device-side use).
-    pub fn set_captured_ff(
-        &mut self,
-        tile: TileCoord,
-        slice: SliceId,
-        x_ff: bool,
-        value: bool,
-    ) {
+    pub fn set_captured_ff(&mut self, tile: TileCoord, slice: SliceId, x_ff: bool, value: bool) {
         let pos = self.layout.capture_pos(tile, slice, x_ff);
         self.mem.set_bit(pos.frame, pos.bit, value);
-        self.dirty.insert(pos.frame);
     }
 
     // ----- block RAM content ----------------------------------------------
@@ -191,7 +199,6 @@ impl Jbits {
         match virtex::bram::content_bit_pos(self.mem.geometry(), bram, bit) {
             Some((frame, fb)) => {
                 self.mem.set_bit(frame, fb, value);
-                self.dirty.insert(frame);
                 true
             }
             None => false,
@@ -247,44 +254,36 @@ impl Jbits {
     // ----- dirty tracking & partials --------------------------------------
 
     /// Frames dirtied since the last [`Self::clear_dirty`], expanded to
-    /// the requested granularity.
-    pub fn dirty_frames(&mut self, gran: Granularity) -> Vec<usize> {
+    /// the requested granularity. Delegates to the memory's own dirty
+    /// bitset, so frames touched through [`ConfigMemory::frame_mut`] by
+    /// code outside this API are included too.
+    pub fn dirty_frames(&self, gran: Granularity) -> Vec<usize> {
+        let frames = self.mem.dirty_frames();
         match gran {
-            Granularity::Frame => self.dirty.iter().copied().collect(),
-            Granularity::Column => {
-                let geom = self.mem.geometry();
-                let mut out = BTreeSet::new();
-                for &f in &self.dirty {
-                    let far = geom.frame_address(f).expect("dirty frame valid");
-                    let col = geom.column(far.block, far.major).expect("column");
-                    out.extend(
-                        col.first_frame_index()..col.first_frame_index() + col.frame_count(),
-                    );
-                }
-                out.into_iter().collect()
-            }
+            Granularity::Frame => frames,
+            Granularity::Column => expand_to_columns(&self.mem, frames),
         }
     }
 
     /// Forget the dirty set (e.g. after syncing with the board).
     pub fn clear_dirty(&mut self) {
-        self.dirty.clear();
+        self.mem.clear_dirty();
     }
 
     /// Explicitly mark a frame dirty — used by scrubbers that want a
     /// partial covering known-good frames regardless of edits.
     pub fn mark_frame_dirty(&mut self, frame: usize) {
         assert!(frame < self.mem.frame_count(), "frame out of range");
-        self.dirty.insert(frame);
+        self.mem.mark_frame_dirty(frame);
     }
 
     /// Whether anything has been modified since the last sync.
     pub fn is_dirty(&self) -> bool {
-        !self.dirty.is_empty()
+        self.mem.any_dirty()
     }
 
     /// Build a partial bitstream covering the dirty frames.
-    pub fn partial_bitstream(&mut self, gran: Granularity) -> Bitstream {
+    pub fn partial_bitstream(&self, gran: Granularity) -> Bitstream {
         let frames = self.dirty_frames(gran);
         let ranges = bitgen::coalesce_frames(frames);
         bitgen::partial_bitstream(&self.mem, &ranges)
@@ -292,17 +291,10 @@ impl Jbits {
 
     /// Build a partial bitstream covering every frame that differs from
     /// `base` (the JBitsDiff primitive), at the given granularity.
-    pub fn partial_against(&mut self, base: &ConfigMemory, gran: Granularity) -> Bitstream {
+    pub fn partial_against(&self, base: &ConfigMemory, gran: Granularity) -> Bitstream {
         let mut frames = self.mem.diff_frames(base);
         if gran == Granularity::Column {
-            let geom = self.mem.geometry();
-            let mut out = BTreeSet::new();
-            for f in frames {
-                let far = geom.frame_address(f).expect("frame valid");
-                let col = geom.column(far.block, far.major).expect("column");
-                out.extend(col.first_frame_index()..col.first_frame_index() + col.frame_count());
-            }
-            frames = out.into_iter().collect();
+            frames = expand_to_columns(&self.mem, frames);
         }
         let ranges = bitgen::coalesce_frames(frames);
         bitgen::partial_bitstream(&self.mem, &ranges)
@@ -312,6 +304,19 @@ impl Jbits {
     pub fn full_bitstream(&self) -> Bitstream {
         bitgen::full_bitstream(&self.mem)
     }
+}
+
+/// Expand a frame set to whole configuration columns (what JPG emits,
+/// since a module occupies full CLB columns).
+pub fn expand_to_columns(mem: &ConfigMemory, frames: Vec<usize>) -> Vec<usize> {
+    let geom = mem.geometry();
+    let mut out = BTreeSet::new();
+    for f in frames {
+        let far = geom.frame_address(f).expect("frame valid");
+        let col = geom.column(far.block, far.major).expect("column");
+        out.extend(col.first_frame_index()..col.first_frame_index() + col.frame_count());
+    }
+    out.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -423,7 +428,10 @@ mod tests {
         jb.set_lut(TileCoord::new(1, 1), SliceId::S0, LutId::G, 0xBEEF);
         let bs = jb.full_bitstream();
         let mut jb2 = Jbits::from_bitstream(Device::XCV50, &bs).unwrap();
-        assert_eq!(jb2.get_lut(TileCoord::new(1, 1), SliceId::S0, LutId::G), 0xBEEF);
+        assert_eq!(
+            jb2.get_lut(TileCoord::new(1, 1), SliceId::S0, LutId::G),
+            0xBEEF
+        );
         assert!(Jbits::from_bitstream(Device::XCV100, &bs).is_err());
     }
 

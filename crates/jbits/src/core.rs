@@ -14,8 +14,7 @@ use crate::api::Jbits;
 use serde::{Deserialize, Serialize};
 use std::ops::RangeInclusive;
 use virtex::{
-    ClbResource, Device, IobResource, Pip, ResourceValue, SliceId, TileCoord, TileKind, Wire,
-    WireKind,
+    ClbResource, Device, IobResource, Pip, ResourceValue, TileCoord, TileKind, Wire, WireKind,
 };
 
 /// One captured configuration item, tile-relative.
@@ -297,7 +296,7 @@ impl RtpCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use virtex::LutId;
+    use virtex::{LutId, SliceId};
 
     /// A tiny hand-made "design" in columns 2..=3: a LUT, an FF enable,
     /// and a local route.

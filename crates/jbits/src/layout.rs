@@ -164,7 +164,7 @@ impl Layout {
             .enumerate()
             .map(|(i, p)| ((p.from, p.to), i as u32))
             .collect();
-        pips.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        pips.sort_unstable_by_key(|a| a.0);
         TileWindow {
             first_frame: col.first_frame_index(),
             frame_count: col.frame_count(),
@@ -214,8 +214,7 @@ impl Layout {
     /// (true) or FFY.
     pub fn capture_pos(&mut self, tile: TileCoord, slice: virtex::SliceId, x_ff: bool) -> BitPos {
         debug_assert_eq!(tile.kind(self.device), TileKind::Clb);
-        let local =
-            ClbResource::total_bits() + slice.index() * 2 + usize::from(!x_ff);
+        let local = ClbResource::total_bits() + slice.index() * 2 + usize::from(!x_ff);
         self.window(tile).local_to_pos(local)
     }
 

@@ -37,7 +37,7 @@ pub mod core;
 pub mod layout;
 pub mod xhwif;
 
-pub use api::{Granularity, Jbits};
+pub use api::{expand_to_columns, Granularity, Jbits};
 pub use core::{CoreError, RtpCore};
 pub use layout::{BitPos, Layout};
 pub use xhwif::Xhwif;

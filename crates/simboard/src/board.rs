@@ -148,12 +148,7 @@ impl Xhwif for SimBoard {
     }
 
     fn get_configuration(&mut self) -> Result<Vec<u32>, ConfigError> {
-        Ok(self
-            .port
-            .interpreter()
-            .memory()
-            .as_words()
-            .to_vec())
+        Ok(self.port.interpreter().memory().as_words().to_vec())
     }
 
     fn clock_step(&mut self, cycles: u64) {

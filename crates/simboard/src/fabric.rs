@@ -212,11 +212,7 @@ impl FabricSim {
     /// Start simulating; FFs take their INIT values (the GSR behaviour on
     /// START).
     pub fn new(model: FabricModel) -> Result<FabricSim, DecodeError> {
-        let ff = model
-            .slices
-            .iter()
-            .map(|s| (s.init_x, s.init_y))
-            .collect();
+        let ff = model.slices.iter().map(|s| (s.init_x, s.init_y)).collect();
         let mut sim = FabricSim {
             model,
             pad_in: HashMap::new(),
@@ -469,7 +465,12 @@ mod tests {
         let lut_tile = TileCoord::new(0, 3);
         // Pad 0 drives single S0 into the CLB below; single hits F1 (idx
         // 0 class) of slice S0.
-        jb.set_iob(in_tile, 0, IobResource::InputEnable, virtex::ResourceValue::bit(true));
+        jb.set_iob(
+            in_tile,
+            0,
+            IobResource::InputEnable,
+            virtex::ResourceValue::bit(true),
+        );
         let s_in = Wire::new(
             in_tile,
             WireKind::Single {

@@ -22,6 +22,6 @@ pub mod multiboard;
 pub mod port;
 
 pub use board::SimBoard;
-pub use multiboard::MultiBoard;
 pub use fabric::{DecodeError, FabricModel, FabricSim};
+pub use multiboard::MultiBoard;
 pub use port::{SelectMap, SELECTMAP_HZ};

@@ -10,19 +10,49 @@ use crate::family::Device;
 use serde::{Deserialize, Serialize};
 
 /// A full configuration-memory image for one device.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Besides the raw words, the image keeps a per-frame *dirty* bitset: a
+/// frame is marked the moment any write changes its content (or hands out
+/// a mutable view of it). Partial-bitstream generation reads this set to
+/// know which frames to compare/emit without scanning the whole device.
+///
+/// The dirty set is bookkeeping, not content: it is ignored by
+/// `PartialEq`, and a write that stores the value already present does not
+/// mark the frame. Because marks are never un-done by later writes, the
+/// set is a *superset* of a content diff against the state at the last
+/// [`ConfigMemory::clear_dirty`] (writing a bit and writing it back leaves
+/// the frame marked).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ConfigMemory {
     geometry: ConfigGeometry,
     /// `total_frames * frame_words` words, frame-major.
     words: Vec<u32>,
+    /// One bit per frame: set when the frame was touched since the last
+    /// `clear_dirty`. Excluded from equality.
+    dirty: Vec<u64>,
 }
+
+impl PartialEq for ConfigMemory {
+    fn eq(&self, other: &Self) -> bool {
+        // Dirty bits are provenance, not content: two images with the same
+        // words are the same configuration regardless of write history.
+        self.geometry == other.geometry && self.words == other.words
+    }
+}
+
+impl Eq for ConfigMemory {}
 
 impl ConfigMemory {
     /// An all-zero (erased) configuration for `device`.
     pub fn new(device: Device) -> Self {
         let geometry = ConfigGeometry::for_device(device);
         let words = vec![0; geometry.total_words()];
-        ConfigMemory { geometry, words }
+        let dirty = vec![0; geometry.total_frames().div_ceil(64)];
+        ConfigMemory {
+            geometry,
+            words,
+            dirty,
+        }
     }
 
     /// The device this image configures.
@@ -51,8 +81,10 @@ impl ConfigMemory {
         &self.words[idx * fw..(idx + 1) * fw]
     }
 
-    /// Mutable view of frame `idx`.
+    /// Mutable view of frame `idx`. Conservatively marks the frame dirty:
+    /// the caller may write anything through the returned slice.
     pub fn frame_mut(&mut self, idx: usize) -> &mut [u32] {
+        self.mark_frame_dirty(idx);
         let fw = self.frame_words();
         &mut self.words[idx * fw..(idx + 1) * fw]
     }
@@ -68,10 +100,26 @@ impl ConfigMemory {
         assert_eq!(data.len(), self.frame_words(), "frame length mismatch");
         match self.geometry.frame_index(far) {
             Some(i) => {
-                self.frame_mut(i).copy_from_slice(data);
+                if self.frame(i) != data {
+                    self.mark_frame_dirty(i);
+                    let fw = self.frame_words();
+                    self.words[i * fw..(i + 1) * fw].copy_from_slice(data);
+                }
                 true
             }
             None => false,
+        }
+    }
+
+    /// Zero linear frame `idx`, marking it dirty only if it actually held
+    /// content — the erase primitive for module stamping, which keeps the
+    /// dirty byproduct close to the true content diff on mostly-empty
+    /// fabric.
+    pub fn clear_frame(&mut self, idx: usize) {
+        if self.frame(idx).iter().any(|&w| w != 0) {
+            self.mark_frame_dirty(idx);
+            let fw = self.frame_words();
+            self.words[idx * fw..(idx + 1) * fw].fill(0);
         }
     }
 
@@ -82,13 +130,16 @@ impl ConfigMemory {
         (w >> (bit % 32)) & 1 == 1
     }
 
-    /// Set a single configuration bit.
+    /// Set a single configuration bit. Marks the frame dirty only when the
+    /// stored value actually changes.
     pub fn set_bit(&mut self, frame: usize, bit: usize, value: bool) {
-        let word = &mut self.frame_mut(frame)[bit / 32];
-        if value {
-            *word |= 1 << (bit % 32);
-        } else {
-            *word &= !(1 << (bit % 32));
+        let fw = self.frame_words();
+        let word = &mut self.words[frame * fw + bit / 32];
+        let mask = 1u32 << (bit % 32);
+        let next = if value { *word | mask } else { *word & !mask };
+        if next != *word {
+            *word = next;
+            self.mark_frame_dirty(frame);
         }
     }
 
@@ -127,15 +178,71 @@ impl ConfigMemory {
         &self.words
     }
 
-    /// Replace the whole image from a flat word slice.
+    /// Replace the whole image from a flat word slice. Marks exactly the
+    /// frames whose content changes.
     pub fn load_words(&mut self, words: &[u32]) {
         assert_eq!(words.len(), self.words.len(), "image length mismatch");
-        self.words.copy_from_slice(words);
+        let fw = self.frame_words();
+        for i in 0..self.frame_count() {
+            let span = i * fw..(i + 1) * fw;
+            if self.words[span.clone()] != words[span.clone()] {
+                self.words[span.clone()].copy_from_slice(&words[span]);
+                self.mark_frame_dirty(i);
+            }
+        }
     }
 
-    /// Reset to the erased (all-zero) state.
+    /// Reset to the erased (all-zero) state, marking every frame that held
+    /// a set bit.
     pub fn clear(&mut self) {
+        let fw = self.frame_words();
+        for i in 0..self.frame_count() {
+            if self.words[i * fw..(i + 1) * fw].iter().any(|&w| w != 0) {
+                self.mark_frame_dirty(i);
+            }
+        }
         self.words.fill(0);
+    }
+
+    /// Mark frame `idx` as touched.
+    pub fn mark_frame_dirty(&mut self, idx: usize) {
+        debug_assert!(idx < self.frame_count());
+        self.dirty[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Whether frame `idx` was touched since the last
+    /// [`Self::clear_dirty`].
+    pub fn is_frame_dirty(&self, idx: usize) -> bool {
+        (self.dirty[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Linear indices of all touched frames, ascending.
+    pub fn dirty_frames(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.dirty_count());
+        for (i, &chunk) in self.dirty.iter().enumerate() {
+            let mut bits = chunk;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(i * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Number of touched frames.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().map(|c| c.count_ones() as usize).sum()
+    }
+
+    /// Whether any frame is marked dirty.
+    pub fn any_dirty(&self) -> bool {
+        self.dirty.iter().any(|&c| c != 0)
+    }
+
+    /// Forget all dirty marks, making the current content the new baseline.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fill(0);
     }
 
     /// Number of set bits in the whole image (a cheap occupancy proxy used
@@ -197,6 +304,17 @@ mod tests {
     }
 
     #[test]
+    fn clear_frame_marks_only_frames_with_content() {
+        let mut m = ConfigMemory::new(Device::XCV50);
+        m.set_bit(4, 10, true);
+        m.clear_dirty();
+        m.clear_frame(4); // had content: zeroed and marked
+        m.clear_frame(5); // already blank: untouched
+        assert!(!m.get_bit(4, 10));
+        assert_eq!(m.dirty_frames(), vec![4]);
+    }
+
+    #[test]
     fn load_words_roundtrip() {
         let mut a = ConfigMemory::new(Device::XCV50);
         a.set_bit(7, 7, true);
@@ -206,5 +324,96 @@ mod tests {
         assert_eq!(a, b);
         b.clear();
         assert_eq!(b.popcount(), 0);
+    }
+
+    #[test]
+    fn starts_clean_and_tracks_writes() {
+        let mut m = ConfigMemory::new(Device::XCV50);
+        assert!(!m.any_dirty());
+        assert_eq!(m.dirty_count(), 0);
+        m.set_bit(10, 100, true);
+        assert!(m.is_frame_dirty(10));
+        assert!(!m.is_frame_dirty(11));
+        m.set_field(3, 40, 16, 0xBEEF);
+        assert_eq!(m.dirty_frames(), vec![3, 10]);
+        assert_eq!(m.dirty_count(), 2);
+        m.clear_dirty();
+        assert!(!m.any_dirty());
+        assert!(m.get_bit(10, 100), "clear_dirty leaves content alone");
+    }
+
+    #[test]
+    fn no_op_writes_stay_clean() {
+        let mut m = ConfigMemory::new(Device::XCV50);
+        // Clearing an already-clear bit and writing an already-zero frame
+        // change nothing, so nothing is marked.
+        m.set_bit(5, 9, false);
+        m.set_field(6, 0, 8, 0);
+        let zeros = vec![0u32; m.frame_words()];
+        assert!(m.write_frame(FrameAddress::new(BlockType::Clb, 1, 0), &zeros));
+        m.clear();
+        assert!(!m.any_dirty());
+    }
+
+    #[test]
+    fn frame_mut_marks_conservatively() {
+        let mut m = ConfigMemory::new(Device::XCV50);
+        let _ = m.frame_mut(42);
+        assert!(m.is_frame_dirty(42));
+    }
+
+    #[test]
+    fn write_frame_and_clear_mark_changed_frames() {
+        let mut m = ConfigMemory::new(Device::XCV100);
+        let far = FrameAddress::new(BlockType::Clb, 2, 5);
+        let data = vec![0x1234_5678; m.frame_words()];
+        assert!(m.write_frame(far, &data));
+        let idx = m.geometry().frame_index(far).unwrap();
+        assert_eq!(m.dirty_frames(), vec![idx]);
+        m.clear_dirty();
+        // Re-writing identical content is a no-op for the dirty set.
+        assert!(m.write_frame(far, &data));
+        assert!(!m.any_dirty());
+        // clear() marks exactly the frames that held data.
+        m.clear();
+        assert_eq!(m.dirty_frames(), vec![idx]);
+    }
+
+    #[test]
+    fn load_words_marks_exact_diff() {
+        let mut a = ConfigMemory::new(Device::XCV50);
+        a.set_bit(7, 7, true);
+        a.set_bit(90, 3, true);
+        let snapshot: Vec<u32> = a.as_words().to_vec();
+        let mut b = ConfigMemory::new(Device::XCV50);
+        b.load_words(&snapshot);
+        assert_eq!(b.dirty_frames(), vec![7, 90]);
+        b.clear_dirty();
+        b.load_words(&snapshot);
+        assert!(!b.any_dirty());
+    }
+
+    #[test]
+    fn equality_ignores_dirty_marks() {
+        let mut a = ConfigMemory::new(Device::XCV50);
+        let b = ConfigMemory::new(Device::XCV50);
+        a.set_bit(0, 0, true);
+        a.set_bit(0, 0, false);
+        assert!(a.any_dirty());
+        assert_eq!(a, b, "write-and-revert leaves content equal");
+    }
+
+    #[test]
+    fn dirty_is_superset_of_diff() {
+        let mut a = ConfigMemory::new(Device::XCV100);
+        let base = a.clone();
+        a.set_bit(12, 1, true);
+        a.set_bit(12, 1, false); // reverted: dirty but not in diff
+        a.set_bit(40, 9, true);
+        let diff = a.diff_frames(&base);
+        let dirty = a.dirty_frames();
+        assert_eq!(diff, vec![40]);
+        assert_eq!(dirty, vec![12, 40]);
+        assert!(diff.iter().all(|f| dirty.contains(f)));
     }
 }

@@ -135,7 +135,11 @@ pub struct FrameAddress {
 impl FrameAddress {
     /// Construct a frame address.
     pub fn new(block: BlockType, major: u8, minor: u8) -> Self {
-        FrameAddress { block, major, minor }
+        FrameAddress {
+            block,
+            major,
+            minor,
+        }
     }
 
     /// Pack into the 32-bit FAR register encoding
@@ -293,11 +297,8 @@ impl ConfigGeometry {
             return None;
         }
         // Columns are in increasing first_frame order by construction.
-        let col = self
-            .columns
-            .iter()
-            .take_while(|c| c.first_frame <= index)
-            .last()?;
+        let at = self.columns.partition_point(|c| c.first_frame <= index);
+        let col = &self.columns[at.checked_sub(1)?];
         Some(FrameAddress {
             block: col.block,
             major: col.major,
@@ -345,7 +346,7 @@ mod tests {
         for d in Device::ALL {
             let cfg = ConfigGeometry::for_device(d);
             let rows = d.geometry().clb_rows;
-            assert_eq!(cfg.frame_words(), (18 * (rows + 2) + 31) / 32);
+            assert_eq!(cfg.frame_words(), (18 * (rows + 2)).div_ceil(32));
         }
     }
 

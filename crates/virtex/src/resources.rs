@@ -330,7 +330,10 @@ mod tests {
         let mut dedup = all.clone();
         dedup.dedup();
         assert_eq!(dedup.len(), all.len());
-        assert_eq!(all[0], ClbResource::new(SliceId::S0, SliceResource::Lut(LutId::F)));
+        assert_eq!(
+            all[0],
+            ClbResource::new(SliceId::S0, SliceResource::Lut(LutId::F))
+        );
     }
 
     #[test]

@@ -160,12 +160,18 @@ impl SlicePin {
 
     /// Canonical index within [`Self::ALL`].
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|p| *p == self).expect("pin in ALL")
+        Self::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("pin in ALL")
     }
 
     /// Whether this is a slice output.
     pub fn is_output(self) -> bool {
-        matches!(self, SlicePin::X | SlicePin::Y | SlicePin::XQ | SlicePin::YQ)
+        matches!(
+            self,
+            SlicePin::X | SlicePin::Y | SlicePin::XQ | SlicePin::YQ
+        )
     }
 
     /// Index among the four outputs (X=0, Y=1, XQ=2, YQ=3).
@@ -419,9 +425,7 @@ impl RoutingGraph {
     pub fn wire_exists(&self, wire: Wire) -> bool {
         let t = wire.tile;
         match wire.kind {
-            WireKind::SlicePin { .. } | WireKind::Omux(_) | WireKind::Hex { .. } => {
-                self.is_clb(t)
-            }
+            WireKind::SlicePin { .. } | WireKind::Omux(_) | WireKind::Hex { .. } => self.is_clb(t),
             WireKind::Single { dir, idx } => {
                 (idx as usize) < SINGLES_PER_DIR && self.on_grid(t) && {
                     // The wire must land on the grid too, and IOB tiles only
@@ -447,9 +451,7 @@ impl RoutingGraph {
             WireKind::PadIn(i) | WireKind::PadOut(i) => {
                 (i as usize) < PADS_PER_IOB && self.is_iob(t)
             }
-            WireKind::GlobalClock(i) => {
-                (i as usize) < GLOBAL_CLOCKS && t == TileCoord::new(0, 0)
-            }
+            WireKind::GlobalClock(i) => (i as usize) < GLOBAL_CLOCKS && t == TileCoord::new(0, 0),
         }
     }
 
@@ -877,15 +879,7 @@ mod tests {
         g.downhill(omux, &mut p2);
         let single = p2
             .iter()
-            .find(|p| {
-                matches!(
-                    p.to.kind,
-                    WireKind::Single {
-                        dir: Dir::East,
-                        ..
-                    }
-                )
-            })
+            .find(|p| matches!(p.to.kind, WireKind::Single { dir: Dir::East, .. }))
             .expect("omux drives an east single")
             .to;
         let mut p3 = Vec::new();
@@ -966,9 +960,13 @@ mod tests {
         let w = Wire::new(TileCoord::new(-1, 7), WireKind::PadIn(1));
         let mut out = Vec::new();
         g.downhill(w, &mut out);
-        assert!(out
-            .iter()
-            .any(|p| matches!(p.to.kind, WireKind::Single { dir: Dir::South, .. })));
+        assert!(out.iter().any(|p| matches!(
+            p.to.kind,
+            WireKind::Single {
+                dir: Dir::South,
+                ..
+            }
+        )));
         assert!(out
             .iter()
             .any(|p| matches!(p.to.kind, WireKind::GlobalClock(_))));

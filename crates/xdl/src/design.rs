@@ -257,10 +257,7 @@ impl Design {
     /// Whether every multi-terminal non-power net is routed.
     pub fn fully_routed(&self) -> bool {
         self.nets.iter().all(|n| {
-            n.kind == NetKind::Power
-                || n.outpin.is_none()
-                || n.inpins.is_empty()
-                || n.is_routed()
+            n.kind == NetKind::Power || n.outpin.is_none() || n.inpins.is_empty() || n.is_routed()
         })
     }
 
@@ -306,7 +303,10 @@ mod tests {
     #[test]
     fn cfg_entry_parse_paper_tokens() {
         let e = CfgEntry::parse("CKINV::1").unwrap();
-        assert_eq!((e.attr.as_str(), e.logical.as_str(), e.value.as_str()), ("CKINV", "", "1"));
+        assert_eq!(
+            (e.attr.as_str(), e.logical.as_str(), e.value.as_str()),
+            ("CKINV", "", "1")
+        );
         let e = CfgEntry::parse("G:u1/C307:#LUT:D=(A1@A4)").unwrap();
         assert_eq!(e.attr, "G");
         assert_eq!(e.logical, "u1/C307");
@@ -323,7 +323,9 @@ mod tests {
         assert_eq!(d.instance("u1/nrz").unwrap().cfg_value("CKINV"), Some("1"));
         d.instance_mut("u1/nrz").unwrap().set_cfg("CKINV", "", "0");
         assert_eq!(d.instance("u1/nrz").unwrap().cfg_value("CKINV"), Some("0"));
-        d.instance_mut("u1/nrz").unwrap().set_cfg("FFY", "u1/nrz_reg", "#FF");
+        d.instance_mut("u1/nrz")
+            .unwrap()
+            .set_cfg("FFY", "u1/nrz_reg", "#FF");
         assert_eq!(d.instance("u1/nrz").unwrap().cfg_value("FFY"), Some("#FF"));
     }
 

@@ -88,11 +88,9 @@ impl fmt::Display for Violation {
             Violation::DanglingPin { net, instance } => {
                 write!(f, "net {net:?} references missing instance {instance:?}")
             }
-            Violation::BadPinName {
-                net,
-                instance,
-                pin,
-            } => write!(f, "net {net:?}: {instance:?} has no pin {pin:?}"),
+            Violation::BadPinName { net, instance, pin } => {
+                write!(f, "net {net:?}: {instance:?} has no pin {pin:?}")
+            }
             Violation::Undriven { net } => write!(f, "net {net:?} has loads but no driver"),
             Violation::DoublyDriven {
                 instance,
@@ -117,8 +115,8 @@ impl fmt::Display for Violation {
 }
 
 const SLICE_PINS: [&str; 17] = [
-    "F1", "F2", "F3", "F4", "G1", "G2", "G3", "G4", "BX", "BY", "CE", "SR", "CLK", "X", "Y",
-    "XQ", "YQ",
+    "F1", "F2", "F3", "F4", "G1", "G2", "G3", "G4", "BX", "BY", "CE", "SR", "CLK", "X", "Y", "XQ",
+    "YQ",
 ];
 const SLICE_OUT_PINS: [&str; 4] = ["X", "Y", "XQ", "YQ"];
 const IOB_PINS: [&str; 2] = ["I", "O"];
@@ -329,7 +327,9 @@ mod tests {
         assert!(v.iter().any(|x| matches!(x, Violation::Undriven { .. })));
         assert!(v.iter().any(|x| matches!(x, Violation::DanglingPin { .. })));
         assert!(v.iter().any(|x| matches!(x, Violation::BadPinName { .. })));
-        assert!(v.iter().any(|x| matches!(x, Violation::DoublyDriven { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::DoublyDriven { .. })));
     }
 
     #[test]
@@ -348,7 +348,9 @@ mod tests {
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::DuplicateInstance { .. })));
-        assert!(v.iter().any(|x| matches!(x, Violation::DuplicateNet { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::DuplicateNet { .. })));
     }
 
     #[test]

@@ -23,8 +23,8 @@ pub mod parser;
 pub mod printer;
 pub mod ucf;
 
-pub use drc::{check as drc_check, Violation};
 pub use design::{CfgEntry, Design, Instance, InstanceKind, Net, NetKind, PinRef, Placement};
+pub use drc::{check as drc_check, Violation};
 pub use lutexpr::{expr_to_truth, truth_to_expr, LutExprError};
 pub use parser::{parse, ParseError};
 pub use printer::print;

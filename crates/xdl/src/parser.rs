@@ -180,7 +180,9 @@ impl Lexer {
 }
 
 fn parse_tile(lex: &Lexer, w: &str) -> Result<TileCoord, ParseError> {
-    let rc = w.strip_prefix('R').ok_or_else(|| lex.err("bad tile name"))?;
+    let rc = w
+        .strip_prefix('R')
+        .ok_or_else(|| lex.err("bad tile name"))?;
     let (r, c) = rc.split_once('C').ok_or_else(|| lex.err("bad tile name"))?;
     let row: i32 = r.parse().map_err(|_| lex.err("bad tile row"))?;
     let col: i32 = c.parse().map_err(|_| lex.err("bad tile column"))?;
@@ -198,9 +200,7 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
     }
     let name = lex.expect_str()?;
     let dev_word = lex.expect_word()?;
-    let device: Device = dev_word
-        .parse()
-        .map_err(|e| lex.err(format!("{e}")))?;
+    let device: Device = dev_word.parse().map_err(|e| lex.err(format!("{e}")))?;
     // Optional version word.
     if matches!(lex.peek(), Some(Tok::Word(_))) {
         lex.next();
@@ -312,9 +312,7 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                                 .ok_or_else(|| lex.err(format!("bad wire {to_w:?}")))?;
                             net.pips.push(Pip { loc, from, to });
                         }
-                        other => {
-                            return Err(lex.err(format!("unknown net item {other:?}")))
-                        }
+                        other => return Err(lex.err(format!("unknown net item {other:?}"))),
                     }
                 }
                 lex.expect(Tok::Semi)?;

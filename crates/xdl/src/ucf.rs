@@ -190,7 +190,7 @@ impl Constraints {
             }
             let err = |m: String| UcfError { line, message: m };
             // Tokenize respecting quotes.
-            let toks = tokenize(code).map_err(|m| err(m))?;
+            let toks = tokenize(code).map_err(&err)?;
             match toks.first().map(String::as_str) {
                 Some("INST") | Some("NET") => {
                     let is_inst = toks[0] == "INST";
@@ -234,8 +234,8 @@ impl Constraints {
                         return Err(err("expected RANGE =".into()));
                     }
                     let val = toks.get(4).ok_or_else(|| err("missing range".into()))?;
-                    let rect = Rect::parse_range(val)
-                        .ok_or_else(|| err(format!("bad range {val:?}")))?;
+                    let rect =
+                        Rect::parse_range(val).ok_or_else(|| err(format!("bad range {val:?}")))?;
                     cons.groups.insert(name, rect);
                 }
                 Some("TIMESPEC") | Some("TIMEGRP") => {
@@ -365,10 +365,7 @@ TIMESPEC "TS_clk" = PERIOD "clk" 20 ns ;
     fn parses_floorplan() {
         let c = Constraints::parse(SAMPLE).unwrap();
         assert_eq!(c.groups.len(), 2);
-        assert_eq!(
-            c.groups["AG_mod1"],
-            Rect::new(0, 0, 15, 9)
-        );
+        assert_eq!(c.groups["AG_mod1"], Rect::new(0, 0, 15, 9));
         assert_eq!(c.region_for("mod1/u5/lut"), Some(Rect::new(0, 0, 15, 9)));
         assert_eq!(c.region_for("mod2/x"), Some(Rect::new(0, 10, 15, 19)));
         assert_eq!(c.region_for("other"), None);

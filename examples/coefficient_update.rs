@@ -22,7 +22,11 @@ use virtex::{BramCoord, Device};
 fn coefficients(cutoff: u16) -> [u16; 256] {
     let mut t = [0u16; 256];
     for (i, v) in t.iter_mut().enumerate() {
-        *v = if (i as u16) < cutoff { 0xFFFF >> (i % 8) } else { 0 };
+        *v = if (i as u16) < cutoff {
+            0xFFFF >> (i % 8)
+        } else {
+            0
+        };
     }
     t
 }

@@ -69,8 +69,7 @@ fn main() {
     for col in 1..=10usize {
         let major = geom.major_for_clb_col(col).unwrap();
         let colinfo = geom.column(virtex::BlockType::Clb, major).unwrap();
-        for f in colinfo.first_frame_index()..colinfo.first_frame_index() + colinfo.frame_count()
-        {
+        for f in colinfo.first_frame_index()..colinfo.first_frame_index() + colinfo.frame_count() {
             for bit in 0..geom.frame_bits() {
                 if base.memory.get_bit(f, bit) {
                     sensitive.push((f, bit));
@@ -78,7 +77,10 @@ fn main() {
             }
         }
     }
-    println!("  {} sensitive configuration bits in the region", sensitive.len());
+    println!(
+        "  {} sensitive configuration bits in the region",
+        sensitive.len()
+    );
     let mut rng = StdRng::seed_from_u64(0xBEEF);
     let mut upsets = 0;
     loop {
@@ -106,7 +108,11 @@ fn main() {
         "  voted output still counts: {} -> {} (masked by TMR)",
         q_before, q_after
     );
-    assert_eq!(q_after, (q_before + 4) % 16, "voter failed to mask the upset");
+    assert_eq!(
+        q_after,
+        (q_before + 4) % 16,
+        "voter failed to mask the upset"
+    );
 
     // ---- Scrub ------------------------------------------------------------
     println!("\nScrubbing the region with a partial bitstream…");
@@ -116,9 +122,7 @@ fn main() {
     for col in 1..=10usize {
         let major = geom.major_for_clb_col(col).unwrap();
         let colinfo = geom.column(virtex::BlockType::Clb, major).unwrap();
-        for f in
-            colinfo.first_frame_index()..colinfo.first_frame_index() + colinfo.frame_count()
-        {
+        for f in colinfo.first_frame_index()..colinfo.first_frame_index() + colinfo.frame_count() {
             jb.mark_frame_dirty(f);
         }
     }

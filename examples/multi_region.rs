@@ -67,7 +67,7 @@ fn main() {
     let full_bytes = base.bitstream.bitstream.byte_len();
     println!("  complete base bitstream: {full_bytes} bytes");
 
-    let mut project = JpgProject::open(base.bitstream.clone()).expect("open");
+    let project = JpgProject::open(base.bitstream.clone()).expect("open");
 
     println!("\nGenerating all 10 partial bitstreams…");
     let mut partial_bytes_total = 0usize;
@@ -80,9 +80,7 @@ fn main() {
     for (prefix, variants) in catalogues {
         for (vi, nl) in variants.iter().enumerate() {
             let v = implement_variant(&base, prefix, nl, 100 + vi as u64).expect("variant");
-            let partial = project
-                .generate_partial(&v.xdl, &v.ucf)
-                .expect("partial");
+            let partial = project.generate_partial(&v.xdl, &v.ucf).expect("partial");
             println!(
                 "  {prefix}{:<8} -> {:6} bytes ({:4.1}% of complete), cols {:?}",
                 nl.name,

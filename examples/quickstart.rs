@@ -79,8 +79,7 @@ fn main() {
     println!(
         "  partial bitstream: {} bytes ({:.1}% of complete)",
         partial.bitstream.byte_len(),
-        100.0 * partial.bitstream.byte_len() as f64
-            / base.bitstream.bitstream.byte_len() as f64
+        100.0 * partial.bitstream.byte_len() as f64 / base.bitstream.bitstream.byte_len() as f64
     );
     println!("\nTarget floorplan area:\n{}", partial.floorplan);
 

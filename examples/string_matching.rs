@@ -36,7 +36,10 @@ fn main() {
     let device = Device::XCV50;
     let patterns = ["101", "1101", "0110"];
 
-    println!("Building base design: matcher for {:?} + traffic counter…", patterns[0]);
+    println!(
+        "Building base design: matcher for {:?} + traffic counter…",
+        patterns[0]
+    );
     let modules = vec![
         ModuleSpec {
             prefix: "matcher/".into(),

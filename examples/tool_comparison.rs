@@ -42,7 +42,11 @@ fn main() {
     let variant_full = merged.base_bitstream().bitstream;
 
     println!("\n== JPG ==");
-    println!("inputs : module .xdl ({} bytes) + .ucf ({} bytes)", variant.xdl.len(), variant.ucf.len());
+    println!(
+        "inputs : module .xdl ({} bytes) + .ucf ({} bytes)",
+        variant.xdl.len(),
+        variant.ucf.len()
+    );
     let t = Instant::now();
     let project = JpgProject::open(base.bitstream.clone()).expect("open");
     let jpg_partial = project

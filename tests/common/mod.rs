@@ -1,4 +1,6 @@
-//! Shared helpers for the cross-crate integration tests.
+//! Shared helpers for the cross-crate integration tests. Each test
+//! binary compiles its own copy, so any one binary uses a subset.
+#![allow(dead_code)]
 
 use simboard::SimBoard;
 use std::collections::HashMap;

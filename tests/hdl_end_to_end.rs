@@ -75,10 +75,7 @@ fn hdl_design_runs_identically_on_the_board() {
             "floor at cycle {cycle}"
         );
         assert_eq!(read(&board, &pads, "at_top"), golden.output("at_top"));
-        assert_eq!(
-            read(&board, &pads, "at_bottom"),
-            golden.output("at_bottom")
-        );
+        assert_eq!(read(&board, &pads, "at_bottom"), golden.output("at_bottom"));
         board.clock_step(1);
         golden.clock();
     }

@@ -37,9 +37,7 @@ fn partial_swaps_module_and_preserves_neighbor_state() {
 
     // Configure the board with the base design and run both counters.
     let mut board = SimBoard::new(Device::XCV50);
-    board
-        .set_configuration(&base.bitstream.bitstream)
-        .unwrap();
+    board.set_configuration(&base.bitstream.bitstream).unwrap();
     drive(&mut board, &pads, "mod1/en", true);
     drive(&mut board, &pads, "mod2/en", true);
     board.clock_step(5);
@@ -70,7 +68,11 @@ fn partial_swaps_module_and_preserves_neighbor_state() {
     let q0 = read_bus(&board, &pads, "mod1/q");
     board.clock_step(1);
     let q1 = read_bus(&board, &pads, "mod1/q");
-    assert_eq!(q1, (q0 + 7) % 8, "region 1 is not a down-counter: {q0}->{q1}");
+    assert_eq!(
+        q1,
+        (q0 + 7) % 8,
+        "region 1 is not a down-counter: {q0}->{q1}"
+    );
 }
 
 #[test]
@@ -114,9 +116,7 @@ fn download_verified_guards_against_wrong_base() {
 
     // Happy path: board runs the base design -> verified download works.
     let mut board = SimBoard::new(Device::XCV50);
-    board
-        .set_configuration(&base.bitstream.bitstream)
-        .unwrap();
+    board.set_configuration(&base.bitstream.bitstream).unwrap();
     project.download_verified(&partial, &mut board).unwrap();
     // Re-applying over the swapped module is still fine: its own columns
     // are exempt from the check.
@@ -151,9 +151,7 @@ fn repeated_swaps_cycle_through_variants() {
     let pads = pad_map(&base.design);
     let mut project = JpgProject::open(base.bitstream.clone()).unwrap();
     let mut board = SimBoard::new(Device::XCV50);
-    board
-        .set_configuration(&base.bitstream.bitstream)
-        .unwrap();
+    board.set_configuration(&base.bitstream.bitstream).unwrap();
     drive(&mut board, &pads, "mod1/en", true);
 
     let variants = [

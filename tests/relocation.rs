@@ -46,7 +46,8 @@ fn relocated_counter_still_counts() {
         .set_configuration(&relocated.full_bitstream())
         .unwrap();
 
-    let shifted = |io: IobCoord| IobCoord::new(TileCoord::new(io.tile.row, io.tile.col + SHIFT), io.pad);
+    let shifted =
+        |io: IobCoord| IobCoord::new(TileCoord::new(io.tile.row, io.tile.col + SHIFT), io.pad);
     let pad_of = |name: &str| match base.design.instance(name).unwrap().placement {
         Placement::Iob(io) => io,
         _ => panic!("{name} is not a pad"),
@@ -114,9 +115,7 @@ fn core_stamped_as_partial_onto_running_base() {
     board.set_pad(shifted(pad_of("m/en")), true);
     board.clock_step(5);
     let copy_q: u64 = (0..3)
-        .map(|i| {
-            (board.get_pad(shifted(pad_of(&format!("m/q[{i}]")))) as u64) << i
-        })
+        .map(|i| (board.get_pad(shifted(pad_of(&format!("m/q[{i}]")))) as u64) << i)
         .sum();
     let orig_q: u64 = (0..3)
         .map(|i| (board.get_pad(pad_of(&format!("m/q[{i}]"))) as u64) << i)

@@ -76,12 +76,8 @@ fn jpg_parbit_jbitsdiff_agree() {
     let parbit_partial = extract_partial(Device::XCV50, &s.variant_full, &opts).unwrap();
 
     // JBitsDiff: two complete bitstreams -> replayable core.
-    let core = diff_bitstreams(
-        Device::XCV50,
-        &s.base.bitstream.bitstream,
-        &s.variant_full,
-    )
-    .unwrap();
+    let core =
+        diff_bitstreams(Device::XCV50, &s.base.bitstream.bitstream, &s.variant_full).unwrap();
 
     // Apply each to a device loaded with the base design.
     let apply = |partial: &bitstream::Bitstream| {
@@ -123,12 +119,8 @@ fn input_requirements_differ_as_the_paper_says() {
     assert!(opts.print().contains("start_col=2"));
     // …and JBitsDiff needs both complete bitstreams (it sees frames, not
     // regions): its core touches at least the region frames.
-    let core = diff_bitstreams(
-        Device::XCV50,
-        &s.base.bitstream.bitstream,
-        &s.variant_full,
-    )
-    .unwrap();
+    let core =
+        diff_bitstreams(Device::XCV50, &s.base.bitstream.bitstream, &s.variant_full).unwrap();
     assert!(core.frame_count() > 0);
     let text = core.to_jbits_calls();
     assert!(text.contains("jbits.writeFrame"));

@@ -1,0 +1,282 @@
+//! Offline stand-in for `rayon`, covering the API surface this workspace
+//! uses: `par_iter` / `into_par_iter`, `map`, `enumerate`, and `collect`
+//! into `Vec<T>` or `Result<Vec<T>, E>`.
+//!
+//! Work is executed on `std::thread::scope` threads, one per available
+//! core (capped by item count), pulling items from a shared atomic
+//! cursor so uneven per-item cost still balances. Results are reassembled
+//! **in input order**, matching rayon's `collect` semantics — callers can
+//! rely on deterministic output regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+pub mod prelude {
+    //! The traits a `use rayon::prelude::*` is expected to bring in.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+/// Number of worker threads to use for `len` items.
+fn workers_for(len: usize) -> usize {
+    current_num_threads().min(len).max(1)
+}
+
+/// Size of the (implicit) worker pool — one thread per available core.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Apply `f` to every item, in parallel, preserving input order.
+fn parallel_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers_for(n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let slots = &slots;
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item taken once");
+                let _ = tx.send((i, f(item)));
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("worker completed"))
+        .collect()
+}
+
+/// A parallel iterator: a chain of adapters over a materialized item list.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Execute the chain and return the items in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Parallel map.
+    fn map<R, F>(self, f: F) -> MapPar<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        MapPar { base: self, f }
+    }
+
+    /// Pair every item with its input index.
+    fn enumerate(self) -> EnumeratePar<Self> {
+        EnumeratePar { base: self }
+    }
+
+    /// Collect into `Vec<T>` or `Result<Vec<T>, E>`.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_vec(self.drive())
+    }
+}
+
+/// Base parallel iterator over owned items.
+pub struct IntoIterPar<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoIterPar<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The `map` adapter — this is where the threads actually run.
+pub struct MapPar<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for MapPar<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+    fn drive(self) -> Vec<R> {
+        parallel_map(self.base.drive(), self.f)
+    }
+}
+
+/// The `enumerate` adapter.
+pub struct EnumeratePar<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for EnumeratePar<B> {
+    type Item = (usize, B::Item);
+    fn drive(self) -> Vec<(usize, B::Item)> {
+        self.base.drive().into_iter().enumerate().collect()
+    }
+}
+
+/// `into_par_iter()` on owned collections.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoIterPar<T>;
+    fn into_par_iter(self) -> IntoIterPar<T> {
+        IntoIterPar { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type Iter = IntoIterPar<T>;
+    fn into_par_iter(self) -> IntoIterPar<T> {
+        IntoIterPar {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = IntoIterPar<&'a T>;
+    fn par_iter(&'a self) -> IntoIterPar<&'a T> {
+        IntoIterPar {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = IntoIterPar<&'a T>;
+    fn par_iter(&'a self) -> IntoIterPar<&'a T> {
+        IntoIterPar {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `collect()` targets.
+pub trait FromParallelIterator<T>: Sized {
+    /// Build the collection from in-order results.
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Vec<T> {
+        v
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_vec(v: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
+        v.into_iter().collect()
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if workers_for(2) < 2 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join closure panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_then_map() {
+        let v = vec!["a", "b", "c"];
+        let out: Vec<String> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}{s}"))
+            .collect();
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_first_error() {
+        let v: Vec<usize> = (0..10).collect();
+        let out: Result<Vec<usize>, String> = v
+            .par_iter()
+            .map(|&x| {
+                if x == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(out, Err("seven".to_string()));
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names (empty markers)
+//! and re-exports the no-op derive macros, so `use serde::{Deserialize,
+//! Serialize}` plus `#[derive(Serialize, Deserialize)]` compile unchanged
+//! in an offline container. No code in this workspace performs actual
+//! serialization, so no methods are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
