@@ -1,0 +1,160 @@
+//! **E10 — serving**: the Figure-4 library as a *request stream*. A
+//! reconfigurable-computing deployment doesn't download a bitstream once;
+//! it swaps modules continuously across a pool of boards. This bench runs
+//! the same stream of "run variant V in region R" requests through two
+//! fleets — one serving JPG partials, one serving complete bitstreams per
+//! swap (the conventional flow) — and measures served requests per second
+//! of simulated SelectMAP port time.
+//!
+//! Also checked here: readback verification never fails on clean ports,
+//! and injected port faults (drops and bit corruptions) are always healed
+//! by the retry loop — the service keeps 100% eventual success.
+
+use bench::{fig4_base, fig4_regions, header, row};
+use cadflow::netlist::Netlist;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fleet::{Fleet, FleetConfig, FleetReport, Request, ServeMode, ServingLibrary};
+use std::sync::Arc;
+
+const BOARDS: usize = 4;
+const REQUESTS: u64 = 60;
+
+fn library() -> Arc<ServingLibrary> {
+    let base = fig4_base();
+    let catalogues: Vec<(String, Vec<Netlist>)> = fig4_regions()
+        .into_iter()
+        .map(|r| (r.prefix, r.variants))
+        .collect();
+    Arc::new(ServingLibrary::build(&base, &catalogues, 90).expect("fig4 serving library"))
+}
+
+/// The request mix: a hot variant every third request, the rest cycling
+/// over all ten (region, variant) pairs.
+fn request_mix(lib: &ServingLibrary) -> Vec<Request> {
+    let pairs: Vec<(usize, usize)> = lib
+        .regions()
+        .iter()
+        .enumerate()
+        .flat_map(|(r, cat)| (0..cat.variants.len()).map(move |v| (r, v)))
+        .collect();
+    (0..REQUESTS)
+        .map(|i| {
+            let (region, variant) = if i % 3 == 0 {
+                pairs[0]
+            } else {
+                pairs[(i as usize * 7 + 3) % pairs.len()]
+            };
+            let prefix = &lib.regions()[region].prefix;
+            Request {
+                id: i,
+                region,
+                variant,
+                drive: vec![(format!("{prefix}en"), true)],
+                reset: true,
+                clocks: 1 + i % 5,
+            }
+        })
+        .collect()
+}
+
+fn run_mode(lib: &Arc<ServingLibrary>, mode: ServeMode) -> (Fleet, FleetReport) {
+    let cfg = FleetConfig {
+        mode,
+        ..FleetConfig::default()
+    };
+    let fleet = Fleet::new(lib.clone(), BOARDS, cfg).expect("fleet");
+    let report = fleet.run(request_mix(lib));
+    (fleet, report)
+}
+
+fn print_table(lib: &Arc<ServingLibrary>) -> f64 {
+    println!("\n== E10: serving the Figure-4 library from a {BOARDS}-board fleet ==");
+    println!("({REQUESTS} requests, 10 variants over 3 regions, XCV100, SelectMAP timing)\n");
+    header(&[
+        "fleet",
+        "served",
+        "makespan (port)",
+        "req/s",
+        "config bytes",
+        "verify fails",
+    ]);
+    let mut rps = Vec::new();
+    for mode in [ServeMode::Partial, ServeMode::FullSwap] {
+        let (fleet, report) = run_mode(lib, mode);
+        assert_eq!(report.failed, 0, "clean ports must serve everything");
+        assert_eq!(
+            fleet.metrics().verify_failures.get(),
+            0,
+            "no injected faults, no verification failures"
+        );
+        rps.push(report.throughput_rps());
+        row(&[
+            format!("{mode:?}"),
+            format!("{}", report.served),
+            format!("{:?}", report.makespan),
+            format!("{:.0}", report.throughput_rps()),
+            format!("{}", fleet.metrics().download_bytes.get()),
+            format!("{}", fleet.metrics().verify_failures.get()),
+        ]);
+    }
+    let speedup = rps[0] / rps[1];
+    println!("\npartial-bitstream fleet: {speedup:.2}x the served-requests/sec of the full-bitstream fleet");
+    assert!(
+        speedup >= 2.0,
+        "partial fleet must serve at least 2x the throughput (got {speedup:.2}x)"
+    );
+    speedup
+}
+
+fn print_fault_table(lib: &Arc<ServingLibrary>) {
+    println!("\nfault injection (deterministic, per-board seeded):");
+    header(&["fault rate", "served", "failed", "retries", "verify fails"]);
+    for (rate, seed) in [(0.0, 7u64), (0.1, 42), (0.25, 1234)] {
+        let mut fleet = Fleet::new(lib.clone(), BOARDS, FleetConfig::default()).expect("fleet");
+        fleet.inject_faults(rate, seed);
+        let report = fleet.run(request_mix(lib));
+        assert_eq!(
+            report.failed, 0,
+            "retry + readback verify must recover every request at rate {rate}"
+        );
+        if rate == 0.0 {
+            assert_eq!(fleet.metrics().retries.get(), 0);
+            assert_eq!(fleet.metrics().verify_failures.get(), 0);
+        }
+        row(&[
+            format!("{rate}"),
+            format!("{}", report.served),
+            format!("{}", report.failed),
+            format!("{}", fleet.metrics().retries.get()),
+            format!("{}", fleet.metrics().verify_failures.get()),
+        ]);
+    }
+    println!("paper context: partial reconfiguration is a runtime loop; the service must stay correct under port faults, not just fast.");
+}
+
+fn bench(c: &mut Criterion) {
+    let lib = library();
+    print_table(&lib);
+    print_fault_table(&lib);
+
+    // Criterion measures real wall-clock of draining the stream — the
+    // store is warm, so this is scheduling + downloads + verification.
+    let mut g = c.benchmark_group("fleet");
+    for mode in [ServeMode::Partial, ServeMode::FullSwap] {
+        let fleet = Fleet::new(
+            lib.clone(),
+            BOARDS,
+            FleetConfig {
+                mode,
+                ..FleetConfig::default()
+            },
+        )
+        .expect("fleet");
+        let name = format!("serve_60_{mode:?}");
+        g.bench_function(&name, |b| b.iter(|| fleet.run(request_mix(&lib))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

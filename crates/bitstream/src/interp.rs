@@ -66,6 +66,11 @@ pub enum ConfigError {
     /// contention found when the fabric activated). Reported by boards,
     /// not by the packet interpreter itself.
     InvalidConfiguration(String),
+    /// The configuration port detected a transfer fault (a dropped or
+    /// garbled byte on the cable) and aborted the load; nothing was
+    /// committed. Reported by boards/ports, not by the packet
+    /// interpreter itself. The transfer is retryable.
+    TransferFault,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -99,6 +104,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::TruncatedPayload => write!(f, "stream truncated mid-payload"),
             ConfigError::InvalidConfiguration(msg) => {
                 write!(f, "configuration is not a legal circuit: {msg}")
+            }
+            ConfigError::TransferFault => {
+                write!(f, "configuration port transfer fault: load aborted")
             }
         }
     }

@@ -39,6 +39,11 @@ pub fn readback_request(geom: &ConfigGeometry, range: FrameRange) -> Bitstream {
             .encode(),
         );
     }
+    // Desynchronize when done, so the port accepts a fresh stream next —
+    // without this, repeated readbacks (or a reconfiguration after one)
+    // would hit a packet processor still parsing mid-stream.
+    words.push(Packet::write1(Register::Cmd, 1).encode());
+    words.push(Command::Desynch.code());
     Bitstream::from_words(words)
 }
 
@@ -74,6 +79,23 @@ mod tests {
         for (k, fr) in frames.iter().enumerate() {
             assert_eq!(fr.as_slice(), mem.frame(10 + k));
         }
+    }
+
+    #[test]
+    fn consecutive_readbacks_and_reconfiguration_after_readback() {
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        for f in 0..mem.frame_count() {
+            mem.frame_mut(f)[0] = f as u32;
+        }
+        let mut dev = Interpreter::with_memory(mem.clone());
+        // The request desynchronizes the port when done, so back-to-back
+        // readbacks — and a fresh configuration stream after one — work.
+        for start in [10, 40, 70] {
+            let frames = readback_frames(&mut dev, FrameRange::new(start, 3)).unwrap();
+            assert_eq!(frames[0].as_slice(), mem.frame(start));
+        }
+        let bits = crate::full_bitstream(&mem);
+        dev.feed(&bits).expect("reconfigure after readback");
     }
 
     #[test]

@@ -263,6 +263,60 @@ mod tests {
     }
 
     #[test]
+    fn priming_an_empty_range_is_a_no_op() {
+        let mem = ConfigMemory::new(Device::XCV50);
+        let cache = FrameCache::new();
+        cache.prime_frames(&mem, std::iter::empty());
+        assert!(cache.is_empty());
+        // Nothing primed: every lookup is a miss and the frame is kept.
+        assert_eq!(cache.filter_changed(&mem, [0, 1, 2]), vec![0, 1, 2]);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn repriming_after_a_base_epoch_change_updates_hashes() {
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        mem.set_bit(4, 2, true);
+        let cache = FrameCache::new();
+        cache.prime_frames(&mem, [4, 5]);
+        assert!(cache.matches(FrameKey::of(&mem, 4), mem.frame(4)));
+
+        // New base epoch: frame 4's base content changes. Until the
+        // cache is re-primed, the *new* base reads as changed…
+        let old_frame4 = mem.frame(4).to_vec();
+        mem.set_bit(4, 9, true);
+        assert_eq!(cache.filter_changed(&mem, [4, 5]), vec![4]);
+        // …and after re-priming the same keys, the new base hits while
+        // the previous epoch's content now misses.
+        cache.prime_frames(&mem, [4, 5]);
+        assert_eq!(cache.len(), 2, "re-prime replaces, never duplicates");
+        assert_eq!(cache.filter_changed(&mem, [4, 5]), Vec::<usize>::new());
+        assert!(!cache.matches(FrameKey::of(&mem, 4), &old_frame4));
+    }
+
+    #[test]
+    fn dirtied_then_restored_frame_is_not_emitted() {
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        mem.set_bit(6, 3, true);
+        let cache = FrameCache::new();
+        cache.prime(&mem);
+
+        // Dirty the frame, then restore its base content: the dirty mark
+        // stays set (it is bookkeeping, not content), but the hash check
+        // sees base content and drops the frame from the emission set.
+        mem.clear_dirty();
+        mem.set_bit(6, 3, false);
+        mem.set_bit(6, 3, true);
+        assert!(mem.is_frame_dirty(6));
+        assert_eq!(
+            cache.filter_changed(&mem, mem.dirty_frames()),
+            Vec::<usize>::new()
+        );
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
     fn keys_distinguish_devices() {
         let a = ConfigMemory::new(Device::XCV50);
         let b = ConfigMemory::new(Device::XCV100);

@@ -60,3 +60,4 @@ pub use cache::{frame_hash, FrameCache, FrameKey};
 pub use floorplan::render_floorplan;
 pub use project::{JpgError, JpgProject, PartialResult};
 pub use translate::{apply_design, TranslateError, TranslateStats};
+pub use workflow::region_frame_ranges;

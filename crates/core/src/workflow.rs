@@ -321,10 +321,13 @@ fn region_of(base: &BaseDesign, prefix: &str) -> Rect {
         .expect("prefix has a region")
 }
 
-/// Linear frame indices of `region`'s CLB columns plus the two IOB edge
-/// columns — every frame a partial for a module floorplanned in `region`
-/// can write (mirrors the column set `stamp_module` derives).
-fn region_frames(mem: &ConfigMemory, region: Rect) -> Vec<usize> {
+/// Frame ranges of `region`'s CLB columns plus the two IOB edge columns
+/// — every frame a partial for a module floorplanned in `region` can
+/// write (mirrors the column set `stamp_module` derives). One range per
+/// configuration column, in `region` column order then edge columns.
+/// Public plumbing for region-scoped consumers (the `fleet` service's
+/// store and readback verifier).
+pub fn region_frame_ranges(mem: &ConfigMemory, region: Rect) -> Vec<bitstream::FrameRange> {
     use bitstream::FrameRange;
     use virtex::BlockType;
     let geom = mem.geometry();
@@ -334,6 +337,13 @@ fn region_frames(mem: &ConfigMemory, region: Rect) -> Vec<usize> {
         .filter_map(|c| geom.major_for_clb_col(c))
         .chain([iob_right_major, iob_right_major + 1])
         .filter_map(|major| FrameRange::for_column(geom, BlockType::Clb, major))
+        .collect()
+}
+
+/// Linear frame indices behind [`region_frame_ranges`].
+fn region_frames(mem: &ConfigMemory, region: Rect) -> Vec<usize> {
+    region_frame_ranges(mem, region)
+        .into_iter()
         .flat_map(|r| r.frames())
         .collect()
 }

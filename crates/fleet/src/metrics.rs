@@ -1,0 +1,280 @@
+//! Service counters and latency histograms.
+//!
+//! Everything here is lock-free (`Ordering::Relaxed` atomics): worker
+//! threads record on the serving path, and exactness across a data race
+//! is irrelevant for operational metrics. Latencies are *simulated*
+//! durations from the SelectMAP byte-cycle model, not wall-clock — the
+//! numbers answer "what would this fleet's boards be doing", which is
+//! what the paper's download-time argument is about.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge with a high-water mark (queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicI64,
+    high: AtomicI64,
+}
+
+impl Gauge {
+    /// Raise the gauge by one, updating the high-water mark.
+    pub fn inc(&self) {
+        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lower the gauge by one.
+    pub fn dec(&self) {
+        self.current.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn current(&self) -> i64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Highest level seen.
+    pub fn high_water(&self) -> i64 {
+        self.high.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram bucket upper bounds, in microseconds. Downloads on the
+/// 50 MHz byte-wide port range from a few µs (a one-column partial) to a
+/// few ms (a complete bitstream), so log-ish buckets over 1 µs – 5 ms
+/// cover the service; a final overflow bucket takes the rest.
+const BUCKET_BOUNDS_US: [u64; 12] = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [Counter; BUCKET_BOUNDS_US.len() + 1],
+    count: Counter,
+    sum_ns: Counter,
+    max_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros() as u64;
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].inc();
+        self.count.inc();
+        self.sum_ns.add(d.as_nanos() as u64);
+        self.max_ns
+            .fetch_max(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Mean sample, zero when empty.
+    pub fn mean(&self) -> Duration {
+        match self.count() {
+            0 => Duration::ZERO,
+            n => Duration::from_nanos(self.sum_ns.get() / n),
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile (0 < p ≤ 1);
+    /// the overflow bucket reports the observed maximum.
+    pub fn quantile(&self, p: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((total as f64) * p).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.get();
+            if seen >= target {
+                return match BUCKET_BOUNDS_US.get(i) {
+                    Some(&us) => Duration::from_micros(us),
+                    None => self.max(),
+                };
+            }
+        }
+        self.max()
+    }
+
+    /// One-line summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:?} p50={:?} p99={:?} max={:?}",
+            self.count(),
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+/// The fleet's instrumentation, shared by every worker.
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    /// Requests accepted into the queue.
+    pub requests_enqueued: Counter,
+    /// Requests served to completion (verified).
+    pub requests_served: Counter,
+    /// Requests that exhausted their retry budget.
+    pub requests_failed: Counter,
+    /// Bitstream downloads attempted (including retries).
+    pub downloads: Counter,
+    /// Bytes pushed through configuration ports.
+    pub download_bytes: Counter,
+    /// Bytes read back for verification.
+    pub readback_bytes: Counter,
+    /// Download attempts that ended in a port error or failed verify.
+    pub retries: Counter,
+    /// Region readback compares that found a mismatch.
+    pub verify_failures: Counter,
+    /// Store lookups resolved from an already-generated partial.
+    pub store_hits: Counter,
+    /// Store lookups that had to generate.
+    pub store_misses: Counter,
+    /// Requests served without any download (variant already resident).
+    pub resident_hits: Counter,
+    /// Live queue depth and its high-water mark.
+    pub queue_depth: Gauge,
+    /// Simulated port time per download attempt.
+    pub download_latency: Histogram,
+    /// Simulated port time per verification readback.
+    pub verify_latency: Histogram,
+    /// Simulated end-to-end port time per request (download + verify +
+    /// retries + backoff).
+    pub request_latency: Histogram,
+}
+
+impl FleetMetrics {
+    /// Fresh, zeroed instrumentation.
+    pub fn new() -> FleetMetrics {
+        FleetMetrics::default()
+    }
+
+    /// Fraction of store lookups served from an existing partial.
+    pub fn store_hit_rate(&self) -> f64 {
+        let h = self.store_hits.get();
+        let m = self.store_misses.get();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Multi-line human-readable report.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "requests: {} served / {} failed / {} enqueued (queue high-water {})\n",
+            self.requests_served.get(),
+            self.requests_failed.get(),
+            self.requests_enqueued.get(),
+            self.queue_depth.high_water(),
+        ));
+        s.push_str(&format!(
+            "downloads: {} ({} bytes), readback {} bytes, {} retries, {} verify failures\n",
+            self.downloads.get(),
+            self.download_bytes.get(),
+            self.readback_bytes.get(),
+            self.retries.get(),
+            self.verify_failures.get(),
+        ));
+        s.push_str(&format!(
+            "store: {:.0}% hit rate ({} hits / {} misses), {} resident fast-paths\n",
+            100.0 * self.store_hit_rate(),
+            self.store_hits.get(),
+            self.store_misses.get(),
+            self.resident_hits.get(),
+        ));
+        s.push_str(&format!(
+            "download latency: {}\n",
+            self.download_latency.summary()
+        ));
+        s.push_str(&format!(
+            "verify latency:   {}\n",
+            self.verify_latency.summary()
+        ));
+        s.push_str(&format!(
+            "request latency:  {}",
+            self.request_latency.summary()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        for us in [1u64, 3, 9, 30, 90, 300, 900, 3000, 9000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), Duration::from_micros(9000));
+        // The median sample (90 µs) lands in the ≤100 µs bucket.
+        assert_eq!(h.quantile(0.5), Duration::from_micros(100));
+        // The top quantile falls in the overflow bucket → observed max.
+        assert_eq!(h.quantile(1.0), Duration::from_micros(9000));
+        assert!(h.mean() > Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        g.inc();
+        assert_eq!(g.current(), 2);
+        assert_eq!(g.high_water(), 2);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        let m = FleetMetrics::new();
+        assert_eq!(m.store_hit_rate(), 0.0);
+        m.store_hits.add(3);
+        m.store_misses.inc();
+        assert!((m.store_hit_rate() - 0.75).abs() < 1e-12);
+        assert!(m.report().contains("75% hit rate"));
+    }
+}

@@ -1,0 +1,545 @@
+//! The fleet service: a pool of boards draining a shared request queue.
+//!
+//! Each request means "make region R of some board run variant V, step
+//! the user clock, return the module's pad outputs". Workers (one per
+//! board) pull the *cheapest* runnable request for their board — zero
+//! frames when the variant is already resident, otherwise the region's
+//! frame count through the SelectMAP byte-cycle model — download the
+//! bitstream, verify it by region-scoped readback compare, and retry
+//! with exponential backoff when the port faults or verification fails.
+//!
+//! All configuration traffic goes through [`jbits::Xhwif`], exactly as
+//! JPG's own download path does; the pool happens to be `SimBoard`s, but
+//! nothing in the serving loop knows that beyond pad I/O.
+
+use crate::library::ServingLibrary;
+use crate::metrics::FleetMetrics;
+use crate::store::StoredPartial;
+use crate::FleetError;
+use bitstream::Bitstream;
+use jbits::Xhwif;
+use simboard::port::{download_time, FaultInjector};
+use simboard::SimBoard;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Which bitstream the fleet downloads per swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Partial bitstreams from the store (the JPG flow): incremental
+    /// when the region still holds base content, wholesale otherwise.
+    Partial,
+    /// A complete bitstream per swap (the conventional-flow baseline the
+    /// paper argues against).
+    FullSwap,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Download flavor.
+    pub mode: ServeMode,
+    /// Download attempts per request before giving up (port faults and
+    /// verification failures both consume attempts).
+    pub max_attempts: u32,
+    /// First retry backoff (simulated port idle time); doubles per
+    /// subsequent retry of the same request.
+    pub backoff: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            mode: ServeMode::Partial,
+            max_attempts: 16,
+            backoff: Duration::from_micros(20),
+        }
+    }
+}
+
+/// One unit of work for the fleet.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-assigned identity, echoed in the response.
+    pub id: u64,
+    /// Region index in the library.
+    pub region: usize,
+    /// Variant index in the region's catalogue.
+    pub variant: usize,
+    /// Input pads to drive before clocking, by pad name.
+    pub drive: Vec<(String, bool)>,
+    /// Whether to pulse the board reset before clocking (fresh state).
+    pub reset: bool,
+    /// User clock cycles to step after reconfiguration.
+    pub clocks: u64,
+}
+
+impl Request {
+    /// A request with no pad drives and no reset.
+    pub fn new(id: u64, region: usize, variant: usize, clocks: u64) -> Request {
+        Request {
+            id,
+            region,
+            variant,
+            drive: Vec::new(),
+            reset: false,
+            clocks,
+        }
+    }
+}
+
+/// The outcome of one request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Request identity.
+    pub id: u64,
+    /// Board that served it.
+    pub board: usize,
+    /// Region served.
+    pub region: usize,
+    /// Variant served.
+    pub variant: usize,
+    /// Pad values after clocking, in catalogue pad order.
+    pub outputs: Vec<(String, bool)>,
+    /// Download attempts spent (0 = variant was already resident).
+    pub attempts: u32,
+    /// Whether the store already held the generated bitstreams.
+    pub store_hit: bool,
+    /// Whether the variant was already resident (no download needed).
+    pub resident_hit: bool,
+    /// Configuration bytes pushed for this request.
+    pub bytes: u64,
+    /// Simulated port time consumed (downloads + readbacks + backoff).
+    pub port_time: Duration,
+    /// Failure, if the request exhausted its attempts.
+    pub error: Option<String>,
+}
+
+/// What a board's region currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resident {
+    /// Base content (fresh board or after rebase).
+    Base,
+    /// A verified variant.
+    Variant(usize),
+    /// A failed or unverified download landed here.
+    Unknown,
+}
+
+/// One board plus its serving state.
+struct BoardSlot {
+    board: SimBoard,
+    resident: Vec<Resident>,
+    /// Simulated cumulative port busy time (the makespan component).
+    busy: Duration,
+}
+
+/// The service.
+pub struct Fleet {
+    library: Arc<ServingLibrary>,
+    cfg: FleetConfig,
+    slots: Vec<Mutex<BoardSlot>>,
+    queue: Mutex<VecDeque<Request>>,
+    metrics: FleetMetrics,
+    init_time: Duration,
+}
+
+impl Fleet {
+    /// A fleet of `boards` blank boards, each configured with the
+    /// library's base bitstream.
+    pub fn new(
+        library: Arc<ServingLibrary>,
+        boards: usize,
+        cfg: FleetConfig,
+    ) -> Result<Fleet, FleetError> {
+        assert!(boards > 0, "a fleet needs at least one board");
+        let base = library.base_bitstream();
+        let regions = library.regions().len();
+        let mut slots = Vec::new();
+        let mut init_time = Duration::ZERO;
+        for _ in 0..boards {
+            let mut board = SimBoard::new(library.device());
+            board
+                .set_configuration(&base)
+                .map_err(|e| FleetError::Config(format!("base download: {e}")))?;
+            init_time += download_time(base.byte_len());
+            slots.push(Mutex::new(BoardSlot {
+                board,
+                resident: vec![Resident::Base; regions],
+                busy: Duration::ZERO,
+            }));
+        }
+        Ok(Fleet {
+            library,
+            cfg,
+            slots,
+            queue: Mutex::new(VecDeque::new()),
+            metrics: FleetMetrics::new(),
+            init_time,
+        })
+    }
+
+    /// Install a deterministic fault injector on every board's port,
+    /// seeded per board so runs are reproducible board-by-board.
+    pub fn inject_faults(&mut self, rate: f64, seed: u64) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let slot = slot.get_mut().expect("slot lock");
+            slot.board.set_fault_injector(if rate > 0.0 {
+                Some(FaultInjector::new(
+                    rate,
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64),
+                ))
+            } else {
+                None
+            });
+        }
+    }
+
+    /// Number of boards.
+    pub fn boards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The service metrics.
+    pub fn metrics(&self) -> &FleetMetrics {
+        &self.metrics
+    }
+
+    /// Simulated port time spent downloading base bitstreams at
+    /// construction (not part of any run's makespan).
+    pub fn init_time(&self) -> Duration {
+        self.init_time
+    }
+
+    /// Serve `requests` to completion across all boards concurrently.
+    /// Responses come back sorted by request id. Can be called again;
+    /// board state (resident variants, cumulative busy time) persists
+    /// between runs, but each report's makespan covers only its own run.
+    pub fn run(&self, requests: Vec<Request>) -> FleetReport {
+        for _ in &requests {
+            self.metrics.requests_enqueued.inc();
+            self.metrics.queue_depth.inc();
+        }
+        *self.queue.lock().expect("queue lock") = requests.into();
+
+        let busy_before: Vec<Duration> = self
+            .slots
+            .iter()
+            .map(|s| s.lock().expect("slot lock").busy)
+            .collect();
+        let responses = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for i in 0..self.slots.len() {
+                let responses = &responses;
+                scope.spawn(move || loop {
+                    let req = {
+                        let mut q = self.queue.lock().expect("queue lock");
+                        match self.pick_for_board(i, &mut q) {
+                            Some(r) => r,
+                            None => break,
+                        }
+                    };
+                    self.metrics.queue_depth.dec();
+                    let resp = self.serve(i, req);
+                    responses.lock().expect("responses lock").push(resp);
+                });
+            }
+        });
+
+        let mut responses = responses.into_inner().expect("responses lock");
+        responses.sort_by_key(|r| r.id);
+        let makespan = self
+            .slots
+            .iter()
+            .zip(&busy_before)
+            .map(|(s, &b0)| s.lock().expect("slot lock").busy - b0)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let served = responses.iter().filter(|r| r.error.is_none()).count() as u64;
+        let failed = responses.len() as u64 - served;
+        FleetReport {
+            responses,
+            makespan,
+            served,
+            failed,
+        }
+    }
+
+    /// Pop the cheapest runnable request for board `i`: fewest frames to
+    /// rewrite under the current resident configuration (FIFO among
+    /// ties), which through the byte-per-cycle SelectMAP model is also
+    /// the shortest download.
+    fn pick_for_board(&self, i: usize, q: &mut VecDeque<Request>) -> Option<Request> {
+        if q.is_empty() {
+            return None;
+        }
+        let slot = self.slots[i].lock().expect("slot lock");
+        let mut best: Option<(usize, usize)> = None; // (cost, index)
+        for (idx, req) in q.iter().enumerate() {
+            let cost = self.request_cost(&slot, req);
+            let better = match best {
+                None => true,
+                Some((c, _)) => cost < c,
+            };
+            if better {
+                best = Some((cost, idx));
+                if cost == 0 {
+                    break; // can't beat an already-resident variant
+                }
+            }
+        }
+        best.and_then(|(_, idx)| q.remove(idx))
+    }
+
+    /// Frames board `slot` would have to rewrite to serve `req`.
+    fn request_cost(&self, slot: &BoardSlot, req: &Request) -> usize {
+        let Some(cat) = self.library.regions().get(req.region) else {
+            return 0; // malformed; serve() will reject it cheaply
+        };
+        match self.cfg.mode {
+            ServeMode::Partial => match slot.resident.get(req.region) {
+                Some(Resident::Variant(v)) if *v == req.variant => 0,
+                _ => cat.verify_frames(),
+            },
+            // A full swap rewrites every frame unless the whole device
+            // already matches (this variant resident, all else base).
+            ServeMode::FullSwap => {
+                let exact = slot.resident.iter().enumerate().all(|(r, res)| {
+                    if r == req.region {
+                        *res == Resident::Variant(req.variant)
+                    } else {
+                        *res == Resident::Base
+                    }
+                });
+                if exact {
+                    0
+                } else {
+                    self.library
+                        .regions()
+                        .iter()
+                        .map(|c| c.verify_frames())
+                        .sum()
+                }
+            }
+        }
+    }
+
+    /// Serve one request on board `i` end to end.
+    fn serve(&self, i: usize, req: Request) -> Response {
+        let mut resp = Response {
+            id: req.id,
+            board: i,
+            region: req.region,
+            variant: req.variant,
+            outputs: Vec::new(),
+            attempts: 0,
+            store_hit: false,
+            resident_hit: false,
+            bytes: 0,
+            port_time: Duration::ZERO,
+            error: None,
+        };
+        let (stored, hit) = self.library.resolve(req.region, req.variant);
+        if hit {
+            self.metrics.store_hits.inc();
+        } else {
+            self.metrics.store_misses.inc();
+        }
+        resp.store_hit = hit;
+        let stored = match stored {
+            Ok(s) => s,
+            Err(e) => return self.fail(resp, e.to_string()),
+        };
+
+        let mut slot = self.slots[i].lock().expect("slot lock");
+        let outcome = self.reconfigure(&mut slot, &req, &stored, &mut resp);
+        if let Err(e) = outcome {
+            slot.busy += resp.port_time;
+            drop(slot);
+            return self.fail(resp, e.to_string());
+        }
+
+        // The region now verifiably runs the variant: drive, clock, read.
+        let cat = &self.library.regions()[req.region];
+        for (name, v) in &req.drive {
+            if let Some(io) = cat.pad(name) {
+                slot.board.set_pad(io, *v);
+            }
+        }
+        if req.reset {
+            slot.board.reset();
+        }
+        slot.board.clock_step(req.clocks);
+        resp.outputs = cat
+            .pads
+            .iter()
+            .map(|(n, io)| (n.clone(), slot.board.get_pad(*io)))
+            .collect();
+        slot.busy += resp.port_time;
+        drop(slot);
+
+        self.metrics.requests_served.inc();
+        self.metrics.request_latency.record(resp.port_time);
+        resp
+    }
+
+    /// Bring `req`'s variant up on the board, verified: fast-path when
+    /// resident, otherwise download + readback compare with retry.
+    fn reconfigure(
+        &self,
+        slot: &mut BoardSlot,
+        req: &Request,
+        stored: &StoredPartial,
+        resp: &mut Response,
+    ) -> Result<(), FleetError> {
+        let resident_exact = match self.cfg.mode {
+            ServeMode::Partial => slot.resident[req.region] == Resident::Variant(req.variant),
+            ServeMode::FullSwap => slot.resident.iter().enumerate().all(|(r, res)| {
+                if r == req.region {
+                    *res == Resident::Variant(req.variant)
+                } else {
+                    *res == Resident::Base
+                }
+            }),
+        };
+        if resident_exact {
+            // Residency is only ever recorded after a verified download,
+            // and failures demote to `Unknown` — so a resident variant
+            // needs no port traffic at all, matching the scheduler's
+            // zero-frame cost for this request.
+            self.metrics.resident_hits.inc();
+            resp.resident_hit = true;
+            return Ok(());
+        }
+
+        let mut last_error = String::new();
+        while resp.attempts < self.cfg.max_attempts {
+            let stream: &Bitstream = match self.cfg.mode {
+                ServeMode::FullSwap => &stored.full,
+                // First attempt from a pristine base region can use the
+                // small incremental flavor; anything else needs the
+                // wholesale partial, which overwrites any resident.
+                ServeMode::Partial => {
+                    if resp.attempts == 0 && slot.resident[req.region] == Resident::Base {
+                        &stored.incremental
+                    } else {
+                        &stored.wholesale
+                    }
+                }
+            };
+            if resp.attempts > 0 {
+                // Exponential backoff: the port sits idle, simulated.
+                let pause = self.cfg.backoff * 2u32.pow((resp.attempts - 1).min(10));
+                resp.port_time += pause;
+            }
+            resp.attempts += 1;
+            self.metrics.downloads.inc();
+            self.metrics.download_bytes.add(stream.byte_len() as u64);
+            resp.bytes += stream.byte_len() as u64;
+            let dl = download_time(stream.byte_len());
+            resp.port_time += dl;
+            self.metrics.download_latency.record(dl);
+
+            // Any write leaves the region (or, for a full swap, the
+            // whole board) in an unknown state until verified.
+            match self.cfg.mode {
+                ServeMode::Partial => slot.resident[req.region] = Resident::Unknown,
+                ServeMode::FullSwap => slot.resident.fill(Resident::Unknown),
+            }
+            match slot.board.set_configuration(stream) {
+                Err(e) => {
+                    self.metrics.retries.inc();
+                    last_error = e.to_string();
+                    continue;
+                }
+                Ok(()) => {
+                    if self.verify(slot, req.region, stored, resp) {
+                        slot.resident[req.region] = Resident::Variant(req.variant);
+                        if self.cfg.mode == ServeMode::FullSwap {
+                            for (r, res) in slot.resident.iter_mut().enumerate() {
+                                if r != req.region {
+                                    *res = Resident::Base;
+                                }
+                            }
+                        }
+                        return Ok(());
+                    }
+                    self.metrics.retries.inc();
+                    last_error = "readback verification mismatch".into();
+                    continue;
+                }
+            }
+        }
+        Err(FleetError::Exhausted {
+            attempts: resp.attempts,
+            last: last_error,
+        })
+    }
+
+    /// Region-scoped readback compare against the stored expectation.
+    /// Costs simulated port time proportional to the region, not the
+    /// device — the point of `Xhwif::get_configuration_region`.
+    fn verify(
+        &self,
+        slot: &mut BoardSlot,
+        region: usize,
+        stored: &StoredPartial,
+        resp: &mut Response,
+    ) -> bool {
+        let cat = &self.library.regions()[region];
+        let fw = virtex::ConfigGeometry::for_device(self.library.device()).frame_words();
+        let mut words = Vec::with_capacity(stored.expected.len());
+        let mut reply_words = 0usize;
+        for r in &cat.verify_ranges {
+            match slot.board.get_configuration_region(*r) {
+                Ok(w) => {
+                    // The physical reply carries one pad frame per read.
+                    reply_words += (r.len + 1) * fw;
+                    words.extend(w);
+                }
+                Err(_) => return false,
+            }
+        }
+        let rb = download_time(reply_words * 4);
+        resp.port_time += rb;
+        self.metrics.verify_latency.record(rb);
+        self.metrics.readback_bytes.add(reply_words as u64 * 4);
+        let ok = words == stored.expected;
+        if !ok {
+            self.metrics.verify_failures.inc();
+        }
+        ok
+    }
+
+    fn fail(&self, mut resp: Response, error: String) -> Response {
+        self.metrics.requests_failed.inc();
+        self.metrics.request_latency.record(resp.port_time);
+        resp.error = Some(error);
+        resp
+    }
+}
+
+/// Summary of one [`Fleet::run`].
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-request outcomes, sorted by request id.
+    pub responses: Vec<Response>,
+    /// Longest per-board simulated port busy time for this run — the
+    /// run's simulated wall-clock under the SelectMAP timing model.
+    pub makespan: Duration,
+    /// Requests served successfully.
+    pub served: u64,
+    /// Requests that exhausted their retries.
+    pub failed: u64,
+}
+
+impl FleetReport {
+    /// Served requests per second of simulated port time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return f64::INFINITY;
+        }
+        self.served as f64 / self.makespan.as_secs_f64()
+    }
+}

@@ -5,8 +5,8 @@
 //! reproduction; JPG's "download onto the FPGA" option is written against
 //! this trait, exactly as the paper's tool is written against XHWIF.
 
-use bitstream::{Bitstream, ConfigError};
-use virtex::Device;
+use bitstream::{Bitstream, ConfigError, FrameRange};
+use virtex::{ConfigGeometry, Device};
 
 /// A board hosting one or more Virtex devices. Multi-FPGA boards expose
 /// a selection mechanism, mirroring XHWIF's `getDeviceCount`; all
@@ -32,6 +32,25 @@ pub trait Xhwif {
 
     /// Read the whole configuration back (readback path).
     fn get_configuration(&mut self) -> Result<Vec<u32>, ConfigError>;
+
+    /// Read back only the frames in `range` (linear indices), returned
+    /// as `range.len` concatenated frames. Region-scoped verifiers (the
+    /// `fleet` service's readback-compare) call this instead of
+    /// [`Self::get_configuration`] so a check after a partial
+    /// reconfiguration costs bytes proportional to the region, not the
+    /// device.
+    ///
+    /// The default implementation falls back to a whole-device readback
+    /// and slices out the requested frames; boards with a real
+    /// frame-addressed readback path (e.g. `simboard::SimBoard`) should
+    /// override it.
+    fn get_configuration_region(&mut self, range: FrameRange) -> Result<Vec<u32>, ConfigError> {
+        let geom = ConfigGeometry::for_device(self.device());
+        assert!(range.valid_for(&geom), "frame range out of bounds");
+        let fw = geom.frame_words();
+        let words = self.get_configuration()?;
+        Ok(words[range.start * fw..(range.start + range.len) * fw].to_vec())
+    }
 
     /// Step the user clock `cycles` times.
     fn clock_step(&mut self, cycles: u64);

@@ -29,14 +29,16 @@ impl MultiBoard {
         self.selected
     }
 
-    /// Direct access to one device's board (for pad I/O).
-    pub fn board(&self, index: usize) -> &SimBoard {
-        &self.boards[index]
+    /// Direct access to one device's board (for pad I/O), or `None` for
+    /// an out-of-range position.
+    pub fn board(&self, index: usize) -> Option<&SimBoard> {
+        self.boards.get(index)
     }
 
-    /// Mutable access to one device's board.
-    pub fn board_mut(&mut self, index: usize) -> &mut SimBoard {
-        &mut self.boards[index]
+    /// Mutable access to one device's board, or `None` for an
+    /// out-of-range position.
+    pub fn board_mut(&mut self, index: usize) -> Option<&mut SimBoard> {
+        self.boards.get_mut(index)
     }
 }
 
@@ -64,6 +66,15 @@ impl Xhwif for MultiBoard {
 
     fn get_configuration(&mut self) -> Result<Vec<u32>, ConfigError> {
         self.boards[self.selected].get_configuration()
+    }
+
+    fn get_configuration_region(
+        &mut self,
+        range: bitstream::FrameRange,
+    ) -> Result<Vec<u32>, ConfigError> {
+        // Delegate so the selected SimBoard's frame-addressed readback
+        // override is used instead of the dump-and-slice fallback.
+        self.boards[self.selected].get_configuration_region(range)
     }
 
     fn clock_step(&mut self, cycles: u64) {
@@ -103,6 +114,15 @@ mod tests {
 
         assert!(!mb.select_device(2));
         assert_eq!(mb.selected(), 1);
+    }
+
+    #[test]
+    fn board_access_is_checked() {
+        let mut mb = MultiBoard::new(&[Device::XCV50, Device::XCV100]);
+        assert_eq!(mb.board(0).unwrap().device(), Device::XCV50);
+        assert_eq!(mb.board_mut(1).unwrap().device(), Device::XCV100);
+        assert!(mb.board(2).is_none());
+        assert!(mb.board_mut(2).is_none());
     }
 
     #[test]

@@ -6,11 +6,66 @@
 //! the entire basis of "partial bitstreams reconfigure faster".
 
 use bitstream::{Bitstream, ConfigError, Interpreter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Duration;
 use virtex::Device;
 
 /// Configuration clock frequency of the modeled port.
 pub const SELECTMAP_HZ: u64 = 50_000_000;
+
+/// A deterministic, seedable fault model for the configuration cable.
+///
+/// Each [`SelectMap::load`] draws from the injector's own generator, so
+/// for a given `(rate, seed)` the *k*-th download always meets the same
+/// fate — runs are reproducible regardless of thread interleaving as
+/// long as each board keeps its own injector. Two fault flavors
+/// alternate randomly:
+///
+/// * **dropped transfer** — the port detects the fault mid-stream and
+///   aborts: nothing is committed, the load returns
+///   [`ConfigError::TransferFault`], and the wasted bytes still count
+///   toward the timing model (the cable was busy);
+/// * **silent corruption** — the load completes "successfully" but one
+///   bit of one frame the stream wrote has flipped. Only a readback
+///   compare can catch this flavor, which is exactly why serving-grade
+///   reconfiguration verifies every download.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rate: f64,
+    rng: StdRng,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// An injector firing on each load with probability `rate`,
+    /// deterministic in `seed`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate out of range");
+        FaultInjector {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            injected: 0,
+        }
+    }
+
+    /// Configured fault probability per load.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+/// What the injector decided for one load.
+enum FaultDraw {
+    Clean,
+    Drop,
+    Corrupt,
+}
 
 /// A SelectMAP port wrapping the device-side packet interpreter and
 /// keeping cumulative timing statistics.
@@ -19,6 +74,7 @@ pub struct SelectMap {
     interp: Interpreter,
     bytes_loaded: u64,
     downloads: u64,
+    fault: Option<FaultInjector>,
 }
 
 impl SelectMap {
@@ -28,6 +84,7 @@ impl SelectMap {
             interp: Interpreter::new(device),
             bytes_loaded: 0,
             downloads: 0,
+            fault: None,
         }
     }
 
@@ -36,11 +93,60 @@ impl SelectMap {
         self.interp.device()
     }
 
+    /// Install (or clear) the port's fault injector.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.fault = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
     /// Push a bitstream through the port.
     pub fn load(&mut self, bs: &Bitstream) -> Result<(), ConfigError> {
         self.bytes_loaded += bs.byte_len() as u64;
         self.downloads += 1;
-        self.interp.feed(bs)
+        let draw = match &mut self.fault {
+            Some(f) => {
+                let rate = f.rate;
+                if f.rng.gen_bool(rate) {
+                    f.injected += 1;
+                    if f.rng.gen_bool(0.5) {
+                        FaultDraw::Drop
+                    } else {
+                        FaultDraw::Corrupt
+                    }
+                } else {
+                    FaultDraw::Clean
+                }
+            }
+            None => FaultDraw::Clean,
+        };
+        match draw {
+            FaultDraw::Clean => self.interp.feed(bs),
+            FaultDraw::Drop => Err(ConfigError::TransferFault),
+            FaultDraw::Corrupt => {
+                // Land the corruption inside a frame this load wrote, so
+                // a retry of the same stream is guaranteed to heal it:
+                // the dirty byproduct of the feed is the victim pool.
+                self.interp.memory_mut().clear_dirty();
+                self.interp.feed(bs)?;
+                let written = self.interp.memory().dirty_frames();
+                if let Some(f) = &mut self.fault {
+                    if !written.is_empty() {
+                        let frame = written[f.rng.gen_range(0..written.len())];
+                        let bit = f
+                            .rng
+                            .gen_range(0..self.interp.memory().geometry().frame_bits());
+                        let mem = self.interp.memory_mut();
+                        let old = mem.get_bit(frame, bit);
+                        mem.set_bit(frame, bit, !old);
+                    }
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Cumulative bytes pushed through the port.
@@ -117,6 +223,67 @@ mod tests {
         assert_eq!(port.bytes_loaded(), 2 * bs.byte_len() as u64);
         assert!(port.total_config_time() > Duration::ZERO);
         assert!(port.interpreter().started());
+    }
+
+    #[test]
+    fn fault_injector_is_deterministic_and_heals_on_retry() {
+        let mem = ConfigMemory::new(Device::XCV50);
+        let bs = full_bitstream(&mem);
+
+        // Rate 0 never fires.
+        let mut clean = SelectMap::new(Device::XCV50);
+        clean.set_fault_injector(Some(FaultInjector::new(0.0, 1)));
+        clean.load(&bs).unwrap();
+        assert_eq!(clean.fault_injector().unwrap().injected(), 0);
+
+        // Rate 1 fires on every load; outcomes are drop or corrupt.
+        let run = |seed: u64| {
+            let mut port = SelectMap::new(Device::XCV50);
+            port.set_fault_injector(Some(FaultInjector::new(1.0, seed)));
+            let mut outcomes = Vec::new();
+            for _ in 0..8 {
+                outcomes.push(port.load(&bs).is_err());
+            }
+            (outcomes, port.interpreter().memory().clone())
+        };
+        let (a, mem_a) = run(42);
+        let (b, mem_b) = run(42);
+        assert_eq!(a, b, "same seed, same fate per load");
+        assert_eq!(mem_a, mem_b);
+        assert!(a.iter().any(|&e| e) || mem_a != mem, "rate-1 faults show");
+
+        // A corrupted image differs from the truth in at most one frame,
+        // and a clean retry of the same stream heals it.
+        let mut port = SelectMap::new(Device::XCV50);
+        port.set_fault_injector(Some(FaultInjector::new(1.0, 7)));
+        while port.load(&bs).is_err() {}
+        // That load "succeeded" with rate-1 faults, so it corrupted.
+        assert_ne!(port.interpreter().memory(), &mem);
+        assert_eq!(port.interpreter().memory().diff_frames(&mem).len(), 1);
+        port.set_fault_injector(None);
+        port.load(&bs).unwrap();
+        assert_eq!(port.interpreter().memory(), &mem);
+    }
+
+    #[test]
+    fn dropped_transfer_commits_nothing_but_costs_time() {
+        let mem = ConfigMemory::new(Device::XCV50);
+        let bs = full_bitstream(&mem);
+        let mut port = SelectMap::new(Device::XCV50);
+        // Seed 0's first draw at rate 1.0 may be either flavor; scan for
+        // a seed whose first fault is a drop so the assertion is stable.
+        let seed = (0..64)
+            .find(|&s| {
+                let mut p = SelectMap::new(Device::XCV50);
+                p.set_fault_injector(Some(FaultInjector::new(1.0, s)));
+                p.load(&bs).is_err()
+            })
+            .expect("some seed drops first");
+        port.set_fault_injector(Some(FaultInjector::new(1.0, seed)));
+        assert!(matches!(port.load(&bs), Err(ConfigError::TransferFault)));
+        assert!(!port.interpreter().started(), "nothing committed");
+        assert_eq!(port.bytes_loaded(), bs.byte_len() as u64, "cable was busy");
+        assert!(port.total_config_time() > Duration::ZERO);
     }
 
     #[test]
