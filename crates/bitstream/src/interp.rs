@@ -62,6 +62,24 @@ pub enum ConfigError {
     BadCommand(u32),
     /// The stream ended in the middle of a packet payload.
     TruncatedPayload,
+    /// A register read requested more words than a register can supply.
+    /// Single-valued registers never need type-2 counts; without this
+    /// guard a corrupt read header could demand a multi-hundred-megabyte
+    /// readback buffer.
+    ReadOverrun {
+        /// Register the read targeted.
+        register: Register,
+        /// Word count the header asked for.
+        requested: usize,
+    },
+    /// A frame readback produced a different number of words than the
+    /// request defines — stale undrained data or a device-side stall.
+    ReadbackLength {
+        /// Words the request should produce (pad frame included).
+        expected: usize,
+        /// Words actually in the readback buffer.
+        got: usize,
+    },
     /// The resulting configuration is not a legal circuit (e.g. wire
     /// contention found when the fabric activated). Reported by boards,
     /// not by the packet interpreter itself.
@@ -102,6 +120,16 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ReadOnlyRegister(r) => write!(f, "write to read-only register {r}"),
             ConfigError::BadCommand(c) => write!(f, "unknown command code {c}"),
             ConfigError::TruncatedPayload => write!(f, "stream truncated mid-payload"),
+            ConfigError::ReadOverrun {
+                register,
+                requested,
+            } => write!(f, "read of {requested} words from register {register}"),
+            ConfigError::ReadbackLength { expected, got } => {
+                write!(
+                    f,
+                    "readback produced {got} words, request defines {expected}"
+                )
+            }
             ConfigError::InvalidConfiguration(msg) => {
                 write!(f, "configuration is not a legal circuit: {msg}")
             }
@@ -119,6 +147,40 @@ impl From<PacketError> for ConfigError {
         ConfigError::Packet(e)
     }
 }
+
+/// A [`ConfigError`] located in the stream that caused it: where the
+/// offending packet started and, when the header itself decoded, what
+/// packet the interpreter was executing. Produced by
+/// [`Interpreter::feed_words_traced`]; the positions index the word
+/// slice fed to that call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamDiagnostic {
+    /// The underlying abort condition.
+    pub error: ConfigError,
+    /// Word index of the packet header involved (for pre-sync or header
+    /// errors, of the word itself).
+    pub word_offset: usize,
+    /// Byte offset of that word in the big-endian byte serialization.
+    pub byte_offset: usize,
+    /// The decoded packet header, when header decode succeeded.
+    pub packet: Option<Packet>,
+}
+
+impl std::fmt::Display for StreamDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at byte {} (word {})",
+            self.error, self.byte_offset, self.word_offset
+        )?;
+        if let Some(pkt) = &self.packet {
+            write!(f, " in {pkt:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for StreamDiagnostic {}
 
 /// Loading statistics, used by the board timing model and the benches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -221,8 +283,15 @@ impl Interpreter {
     /// Feed a whole word stream. Stops at the first error, leaving the
     /// memory in its partially written state (as real silicon would).
     pub fn feed_words(&mut self, words: &[u32]) -> Result<(), ConfigError> {
+        self.feed_words_traced(words).map_err(|d| d.error)
+    }
+
+    /// [`Self::feed_words`], reporting errors as [`StreamDiagnostic`]s
+    /// that locate the offending packet in the stream.
+    pub fn feed_words_traced(&mut self, words: &[u32]) -> Result<(), StreamDiagnostic> {
         let mut i = 0usize;
         while i < words.len() {
+            let header_at = i;
             let w = words[i];
             i += 1;
             self.stats.words_consumed += 1;
@@ -234,34 +303,42 @@ impl Interpreter {
                 }
                 continue;
             }
-            let pkt = Packet::decode(w)?;
+            let diag = |error: ConfigError, packet: Option<Packet>| StreamDiagnostic {
+                error,
+                word_offset: header_at,
+                byte_offset: header_at * 4,
+                packet,
+            };
+            let pkt = Packet::decode(w).map_err(|e| diag(e.into(), None))?;
             let (op, reg, count) = match pkt {
                 Packet::Type1 { op, reg, count } => {
                     self.last_reg = Some(reg);
                     (op, reg, count)
                 }
                 Packet::Type2 { op, count } => {
-                    let reg = self.last_reg.ok_or(ConfigError::OrphanType2)?;
+                    let reg = self
+                        .last_reg
+                        .ok_or_else(|| diag(ConfigError::OrphanType2, Some(pkt)))?;
                     (op, reg, count)
                 }
             };
             match op {
                 Op::Nop => {}
                 Op::Write => {
-                    if i + count > words.len() {
-                        return Err(ConfigError::TruncatedPayload);
+                    if words.len() - i < count {
+                        return Err(diag(ConfigError::TruncatedPayload, Some(pkt)));
                     }
                     let payload = &words[i..i + count];
                     i += count;
                     self.stats.words_consumed += count;
-                    self.write(reg, payload)?;
+                    self.write(reg, payload).map_err(|e| diag(e, Some(pkt)))?;
                     // DESYNCH takes effect after its own payload.
                     if !self.synced {
                         continue;
                     }
                 }
                 Op::Read => {
-                    self.read(reg, count)?;
+                    self.read(reg, count).map_err(|e| diag(e, Some(pkt)))?;
                 }
             }
         }
@@ -271,6 +348,11 @@ impl Interpreter {
     /// Convenience: feed a [`crate::Bitstream`].
     pub fn feed(&mut self, bs: &crate::Bitstream) -> Result<(), ConfigError> {
         self.feed_words(bs.words())
+    }
+
+    /// Convenience: feed a [`crate::Bitstream`] with stream diagnostics.
+    pub fn feed_traced(&mut self, bs: &crate::Bitstream) -> Result<(), StreamDiagnostic> {
+        self.feed_words_traced(bs.words())
     }
 
     fn write(&mut self, reg: Register, payload: &[u32]) -> Result<(), ConfigError> {
@@ -413,14 +495,25 @@ impl Interpreter {
                 }
                 self.far += real;
             }
-            Register::Stat => {
-                self.readback.push(if self.started { 1 } else { 0 });
-            }
             _ => {
-                // Other registers readable: return stored values.
+                if count == 0 {
+                    // Zero-count type-1 header announcing a type-2 read.
+                    return Ok(());
+                }
+                // Other registers readable: return stored values. They
+                // are single-valued, so a count beyond the type-1 space
+                // can only come from a corrupt or hostile type-2 header —
+                // reject it rather than allocate a giant buffer.
+                if count > crate::packet::TYPE1_MAX_COUNT {
+                    return Err(ConfigError::ReadOverrun {
+                        register: reg,
+                        requested: count,
+                    });
+                }
                 let v = match reg {
                     Register::Ctl => self.ctl,
                     Register::Cor => self.cor,
+                    Register::Stat => u32::from(self.started),
                     Register::Far => self
                         .mem
                         .geometry()
@@ -430,7 +523,7 @@ impl Interpreter {
                     Register::Idcode => self.mem.device().idcode(),
                     _ => 0,
                 };
-                for _ in 0..count.max(1) {
+                for _ in 0..count {
                     self.readback.push(v);
                 }
             }
@@ -574,6 +667,101 @@ mod tests {
         let mut dev = Interpreter::new(Device::XCV50);
         let err = dev.feed_words(words).unwrap_err();
         assert_eq!(err, ConfigError::TruncatedPayload);
+    }
+
+    #[test]
+    fn stat_read_honors_word_count() {
+        // Regression: STAT reads used to push exactly one word no matter
+        // what the header asked for, desynchronizing the readback buffer
+        // from the request by `count - 1` words.
+        let mut dev = Interpreter::new(Device::XCV50);
+        let words = [
+            crate::packet::DUMMY_WORD,
+            SYNC_WORD,
+            Packet::read1(Register::Stat, 3).encode(),
+        ];
+        dev.feed_words(&words).unwrap();
+        assert_eq!(dev.take_readback(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn register_read_with_type2_count_is_rejected() {
+        // Regression: a type-2 read header targeting a single-valued
+        // register used to allocate `count` words of readback buffer —
+        // up to 512 MB from one corrupt 32-bit header.
+        let mut dev = Interpreter::new(Device::XCV50);
+        let words = [
+            crate::packet::DUMMY_WORD,
+            SYNC_WORD,
+            Packet::read1(Register::Ctl, 0).encode(),
+            Packet::Type2 {
+                op: Op::Read,
+                count: 1 << 26,
+            }
+            .encode(),
+        ];
+        let err = dev.feed_words(&words).unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ReadOverrun {
+                register: Register::Ctl,
+                requested: 1 << 26,
+            }
+        );
+        assert!(dev.take_readback().is_empty());
+    }
+
+    #[test]
+    fn traced_feed_locates_bad_opcode() {
+        let mem = patterned_memory(Device::XCV50, 7);
+        let bs = full_bitstream(&mem);
+        let mut words = bs.words().to_vec();
+        // Corrupt the IDCODE packet header (word 4: dummy, sync, CMD
+        // header, RCRC, then the IDCODE header) into reserved opcode 3.
+        words[4] = (1 << 29) | (3 << 27);
+        let mut dev = Interpreter::new(Device::XCV50);
+        let d = dev.feed_words_traced(&words).unwrap_err();
+        assert_eq!(d.error, ConfigError::Packet(PacketError::BadOp(3)));
+        assert_eq!(d.word_offset, 4);
+        assert_eq!(d.byte_offset, 16);
+        assert_eq!(d.packet, None);
+        assert!(d.to_string().contains("byte 16"), "{d}");
+    }
+
+    #[test]
+    fn traced_feed_locates_truncation_and_its_packet() {
+        let mem = patterned_memory(Device::XCV50, 8);
+        let bs = full_bitstream(&mem);
+        let words = bs.words();
+        // Find the FDRI type-2 header and cut the stream shortly after.
+        let fdri2_at = words
+            .iter()
+            .position(|&w| matches!(Packet::decode(w), Ok(Packet::Type2 { .. })))
+            .expect("full stream uses a type-2 FDRI write");
+        let mut dev = Interpreter::new(Device::XCV50);
+        let d = dev.feed_words_traced(&words[..fdri2_at + 10]).unwrap_err();
+        assert_eq!(d.error, ConfigError::TruncatedPayload);
+        assert_eq!(d.word_offset, fdri2_at);
+        assert_eq!(d.byte_offset, fdri2_at * 4);
+        assert!(matches!(
+            d.packet,
+            Some(Packet::Type2 { op: Op::Write, .. })
+        ));
+    }
+
+    #[test]
+    fn traced_feed_locates_crc_mismatch() {
+        let mem = patterned_memory(Device::XCV50, 9);
+        let bs = full_bitstream(&mem);
+        let mut words = bs.words().to_vec();
+        let mid = words.len() / 2;
+        words[mid] ^= 1;
+        let crc_hdr = Packet::write1(Register::Crc, 1).encode();
+        let crc_at = words.iter().position(|&w| w == crc_hdr).unwrap();
+        let mut dev = Interpreter::new(Device::XCV50);
+        let d = dev.feed_words_traced(&words).unwrap_err();
+        assert!(matches!(d.error, ConfigError::CrcMismatch { .. }));
+        assert_eq!(d.word_offset, crc_at, "diagnostic points at the CRC packet");
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use bitgen::{
     full_bitstream, partial_bitstream, partial_bitstream_par, partial_bitstream_stitched,
     FrameRange,
 };
-pub use interp::{ConfigError, Interpreter};
+pub use interp::{ConfigError, Interpreter, StreamDiagnostic};
 pub use packet::{Packet, SYNC_WORD};
 pub use regs::{Command, Register};
 pub use writer::{Bitstream, BitstreamWriter};

@@ -55,10 +55,21 @@ pub fn readback_frames(
 ) -> Result<Vec<Vec<u32>>, ConfigError> {
     let geom = dev.memory().geometry().clone();
     let req = readback_request(&geom, range);
+    // Words already sitting in the readback buffer belong to an earlier
+    // read that was never harvested (a STAT poll, an aborted FDRO run).
+    // Left in place they would shift every frame of this read — silently,
+    // in release builds — so drop them before issuing the request.
+    let _ = dev.take_readback();
     dev.feed(&req)?;
     let fw = geom.frame_words();
     let raw = dev.take_readback();
-    debug_assert_eq!(raw.len(), (range.len + 1) * fw);
+    let expected = (range.len + 1) * fw;
+    if raw.len() != expected {
+        return Err(ConfigError::ReadbackLength {
+            expected,
+            got: raw.len(),
+        });
+    }
     Ok(raw[fw..].chunks_exact(fw).map(|c| c.to_vec()).collect())
 }
 
@@ -96,6 +107,33 @@ mod tests {
         }
         let bits = crate::full_bitstream(&mem);
         dev.feed(&bits).expect("reconfigure after readback");
+    }
+
+    #[test]
+    fn stale_readback_words_do_not_shift_frames() {
+        // Regression: an unharvested register read (here a STAT poll)
+        // left words in the readback buffer, and the next
+        // `readback_frames` treated them as the pad frame — every frame
+        // came back shifted, with no error in release builds.
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        for f in 0..mem.frame_count() {
+            mem.frame_mut(f)[0] = 0xF00 + f as u32;
+        }
+        let mut dev = Interpreter::with_memory(mem.clone());
+        let poll = Bitstream::from_words(vec![
+            crate::packet::DUMMY_WORD,
+            crate::packet::SYNC_WORD,
+            Packet::read1(crate::regs::Register::Stat, 1).encode(),
+            Packet::write1(Register::Cmd, 1).encode(),
+            Command::Desynch.code(),
+        ]);
+        dev.feed(&poll).unwrap();
+        // The poll's word is never taken; the readback must still align.
+        let frames = readback_frames(&mut dev, FrameRange::new(20, 4)).unwrap();
+        assert_eq!(frames.len(), 4);
+        for (k, fr) in frames.iter().enumerate() {
+            assert_eq!(fr.as_slice(), mem.frame(20 + k));
+        }
     }
 
     #[test]

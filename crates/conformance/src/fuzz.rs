@@ -1,0 +1,345 @@
+//! Structured packet-level fuzzing of the device-side interpreter.
+//!
+//! Each case takes a known-good partial stream, applies one surgical
+//! corruption from a fixed taxonomy, and asserts the interpreter fails
+//! **gracefully**: a typed [`ConfigError`] whose [`StreamDiagnostic`]
+//! points at the offending packet — never a panic, never silent
+//! acceptance of a corrupt stream.
+
+use crate::harness::Failure;
+use bitstream::packet::{Op, DUMMY_WORD, SYNC_WORD};
+use bitstream::{
+    partial_bitstream, Command, ConfigError, Interpreter, Packet, Register, StreamDiagnostic,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use virtex::{ConfigMemory, Device};
+
+/// One corruption category. Every category has a defined expected
+/// outcome; a case fails if the interpreter panics, accepts the stream,
+/// or reports a different error or location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corruption {
+    /// Cut the stream inside a write payload.
+    Truncate,
+    /// Overwrite a header's opcode field with the reserved value 3.
+    BadOpcode,
+    /// Point a type-1 header at the register-address gap (address 10).
+    BadRegister,
+    /// Overwrite a header's type field with a reserved type.
+    BadType,
+    /// Flip one bit inside an FDRI payload (caught by the CRC check).
+    FlipPayloadBit,
+    /// Insert a second SYNC word at a packet boundary mid-stream.
+    DuplicateSync,
+    /// A type-2 header with no preceding type-1.
+    OrphanType2,
+    /// Delete the WCFG command preceding the first FDRI write.
+    StripWcfg,
+}
+
+/// All categories, in the order `fuzz_case` cycles through them.
+pub const CORRUPTIONS: [Corruption; 8] = [
+    Corruption::Truncate,
+    Corruption::BadOpcode,
+    Corruption::BadRegister,
+    Corruption::BadType,
+    Corruption::FlipPayloadBit,
+    Corruption::DuplicateSync,
+    Corruption::OrphanType2,
+    Corruption::StripWcfg,
+];
+
+/// Walk a well-formed stream, returning `(word index, header)` for every
+/// packet header between sync and desync.
+fn packet_sites(words: &[u32]) -> Vec<(usize, Packet)> {
+    let mut sites = Vec::new();
+    let mut i = 0;
+    let mut synced = false;
+    while i < words.len() {
+        let w = words[i];
+        if !synced {
+            if w == SYNC_WORD {
+                synced = true;
+            }
+            i += 1;
+            continue;
+        }
+        let pkt = Packet::decode(w).expect("walking a known-good stream");
+        sites.push((i, pkt));
+        i += 1;
+        if let Packet::Type1 {
+            op: Op::Write,
+            reg,
+            count,
+        } = pkt
+        {
+            if reg == Register::Cmd && words[i..i + count].contains(&Command::Desynch.code()) {
+                synced = false;
+            }
+            i += count;
+        } else if let Packet::Type2 {
+            op: Op::Write,
+            count,
+        } = pkt
+        {
+            i += count;
+        }
+    }
+    sites
+}
+
+fn fail(seed: u64, stage: &'static str, detail: String) -> Failure {
+    Failure {
+        seed,
+        stage,
+        detail,
+    }
+}
+
+/// Feed `words`, converting a panic into a `Failure` — the interpreter
+/// must degrade to typed errors on any input.
+fn feed_guarded(
+    seed: u64,
+    device: Device,
+    words: &[u32],
+) -> Result<Result<(), StreamDiagnostic>, Failure> {
+    let words = words.to_vec();
+    std::panic::catch_unwind(move || {
+        let mut dev = Interpreter::new(device);
+        dev.feed_words_traced(&words)
+    })
+    .map_err(|_| {
+        fail(
+            seed,
+            "fuzz-panic",
+            "interpreter panicked on corrupt input".into(),
+        )
+    })
+}
+
+/// Run one packet-fuzz case. The corruption category cycles with the
+/// seed so a contiguous seed block covers the whole taxonomy.
+pub fn fuzz_case(seed: u64) -> Result<Corruption, Failure> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF022_CA5E_0BAD_C0DE);
+    let corruption = CORRUPTIONS[(seed % CORRUPTIONS.len() as u64) as usize];
+
+    // A small known-good partial to corrupt.
+    let device = Device::XCV50;
+    let mut mem = ConfigMemory::new(device);
+    let total = mem.frame_count();
+    let bits = mem.geometry().frame_bits();
+    for _ in 0..rng.gen_range(1usize..12) {
+        let f = rng.gen_range(0..total);
+        let b = rng.gen_range(0..bits);
+        mem.set_bit(f, b, true);
+    }
+    let ranges = bitstream::bitgen::coalesce_frames(mem.dirty_frames());
+    let good = partial_bitstream(&mem, &ranges);
+    let words = good.words().to_vec();
+    let sites = packet_sites(&words);
+
+    // Sanity: the uncorrupted stream must load cleanly.
+    feed_guarded(seed, device, &words)?
+        .map_err(|d| fail(seed, "fuzz-baseline", format!("clean stream rejected: {d}")))?;
+
+    let mut corrupted = words.clone();
+    // What the diagnostic must say: (error check, expected word offset).
+    let check: Box<dyn Fn(&ConfigError) -> bool>;
+    let expect_at: usize;
+
+    match corruption {
+        Corruption::Truncate => {
+            let writes: Vec<_> = sites
+                .iter()
+                .filter(|(_, p)| {
+                    p.count() >= 1
+                        && matches!(
+                            p,
+                            Packet::Type1 { op: Op::Write, .. }
+                                | Packet::Type2 { op: Op::Write, .. }
+                        )
+                })
+                .collect();
+            let &&(at, pkt) = &writes[rng.gen_range(0..writes.len())];
+            corrupted.truncate(at + 1 + rng.gen_range(0..pkt.count()));
+            check = Box::new(|e| matches!(e, ConfigError::TruncatedPayload));
+            expect_at = at;
+        }
+        Corruption::BadOpcode => {
+            let (at, _) = sites[rng.gen_range(0..sites.len())];
+            corrupted[at] |= 3 << 27;
+            check = Box::new(|e| {
+                matches!(
+                    e,
+                    ConfigError::Packet(bitstream::packet::PacketError::BadOp(3))
+                )
+            });
+            expect_at = at;
+        }
+        Corruption::BadRegister => {
+            let t1: Vec<_> = sites
+                .iter()
+                .filter(|(_, p)| matches!(p, Packet::Type1 { .. }))
+                .collect();
+            let &&(at, _) = &t1[rng.gen_range(0..t1.len())];
+            corrupted[at] = (corrupted[at] & !(0x3FFF << 13)) | (10 << 13);
+            check = Box::new(|e| {
+                matches!(
+                    e,
+                    ConfigError::Packet(bitstream::packet::PacketError::BadRegister(10))
+                )
+            });
+            expect_at = at;
+        }
+        Corruption::BadType => {
+            let (at, _) = sites[rng.gen_range(0..sites.len())];
+            let ty = [0u32, 3, 7][rng.gen_range(0usize..3)];
+            corrupted[at] = (corrupted[at] & 0x1FFF_FFFF) | (ty << 29);
+            check = Box::new(
+                move |e| matches!(e, ConfigError::Packet(bitstream::packet::PacketError::BadType(t)) if *t == ty),
+            );
+            expect_at = at;
+        }
+        Corruption::FlipPayloadBit => {
+            // Flip inside an FDRI payload; the CRC check at the end of
+            // the stream must catch it and the diagnostic must point at
+            // the CRC packet, not at the (undetectable) flip site.
+            let fdri: Vec<_> = sites
+                .iter()
+                .filter(|(_, p)| {
+                    matches!(p, Packet::Type1 { op: Op::Write, reg: Register::Fdri, count } if *count >= 1)
+                        || matches!(p, Packet::Type2 { op: Op::Write, .. })
+                })
+                .collect();
+            let &&(at, pkt) = &fdri[rng.gen_range(0..fdri.len())];
+            let word = at + 1 + rng.gen_range(0..pkt.count());
+            corrupted[word] ^= 1u32 << rng.gen_range(0u32..32);
+            let crc_hdr = Packet::write1(Register::Crc, 1).encode();
+            expect_at = words.iter().position(|&w| w == crc_hdr).expect("CRC check");
+            check = Box::new(|e| matches!(e, ConfigError::CrcMismatch { .. }));
+        }
+        Corruption::DuplicateSync => {
+            let (at, _) = sites[rng.gen_range(0..sites.len())];
+            corrupted.insert(at, SYNC_WORD);
+            // While synced, the sync word is just a word with reserved
+            // type 5 — the processor must reject, not silently re-arm.
+            check = Box::new(|e| {
+                matches!(
+                    e,
+                    ConfigError::Packet(bitstream::packet::PacketError::BadType(5))
+                )
+            });
+            expect_at = at;
+        }
+        Corruption::OrphanType2 => {
+            corrupted = vec![
+                DUMMY_WORD,
+                SYNC_WORD,
+                Packet::write2(rng.gen_range(1usize..64)).encode(),
+                0,
+            ];
+            check = Box::new(|e| matches!(e, ConfigError::OrphanType2));
+            expect_at = 2;
+        }
+        Corruption::StripWcfg => {
+            let wcfg_at = sites
+                .iter()
+                .find(|(at, p)| {
+                    matches!(
+                        p,
+                        Packet::Type1 {
+                            op: Op::Write,
+                            reg: Register::Cmd,
+                            count: 1
+                        }
+                    ) && words[at + 1] == Command::Wcfg.code()
+                })
+                .map(|&(at, _)| at)
+                .expect("partial has a WCFG");
+            let fdri_at = sites
+                .iter()
+                .find(|&&(at, p)| {
+                    at > wcfg_at
+                        && matches!(
+                            p,
+                            Packet::Type1 {
+                                reg: Register::Fdri,
+                                ..
+                            }
+                        )
+                })
+                .map(|&(at, _)| at)
+                .expect("FDRI follows WCFG");
+            corrupted.drain(wcfg_at..wcfg_at + 2);
+            check = Box::new(|e| matches!(e, ConfigError::WriteWithoutWcfg));
+            expect_at = fdri_at - 2;
+        }
+    }
+
+    match feed_guarded(seed, device, &corrupted)? {
+        Ok(()) => Err(fail(
+            seed,
+            "fuzz-silent",
+            format!("{corruption:?}: corrupt stream accepted without error"),
+        )),
+        Err(d) => {
+            if !check(&d.error) {
+                return Err(fail(
+                    seed,
+                    "fuzz-wrong-error",
+                    format!("{corruption:?}: unexpected error {d}"),
+                ));
+            }
+            if d.word_offset != expect_at {
+                return Err(fail(
+                    seed,
+                    "fuzz-wrong-offset",
+                    format!(
+                        "{corruption:?}: error at word {} (byte {}), expected word {expect_at}",
+                        d.word_offset, d.byte_offset
+                    ),
+                ));
+            }
+            if d.byte_offset != d.word_offset * 4 {
+                return Err(fail(
+                    seed,
+                    "fuzz-byte-offset",
+                    format!("{corruption:?}: byte offset {} desynced", d.byte_offset),
+                ));
+            }
+            Ok(corruption)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_corruption_category_is_detected() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64 {
+            let c = fuzz_case(seed).unwrap_or_else(|f| panic!("{f}"));
+            seen.insert(c);
+        }
+        assert_eq!(seen.len(), CORRUPTIONS.len(), "all categories exercised");
+    }
+
+    #[test]
+    fn walker_sees_the_whole_stream() {
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        mem.set_bit(5, 1, true);
+        mem.set_bit(80, 2, true);
+        let ranges = bitstream::bitgen::coalesce_frames(mem.dirty_frames());
+        let bs = partial_bitstream(&mem, &ranges);
+        let sites = packet_sites(bs.words());
+        // Preamble (RCRC, IDCODE, FLR) + 3 per range + CRC + 3 trailer.
+        assert_eq!(sites.len(), 3 + 3 * ranges.len() + 4);
+        // Sites and payloads tile the synced region exactly: the last
+        // site is the DESYNCH command write ending 2 words before EOF.
+        let (last, pkt) = *sites.last().unwrap();
+        assert_eq!(last + 1 + pkt.count(), bs.word_len());
+    }
+}

@@ -1,0 +1,33 @@
+//! # conformance — the differential conformance harness
+//!
+//! Three independent checks over the whole bitstream pipeline, all
+//! driven from reproducible integer seeds:
+//!
+//! * [`campaign`] — seeded random JBits write campaigns (LUT tables,
+//!   BRAM content, raw configuration-plane pokes) over devices from
+//!   XCV50 to XCV1000;
+//! * [`harness`] — the differential core: every campaign runs through
+//!   the serial, parallel and stitched partial generators (asserting
+//!   byte-identical output), is played onto a device-side interpreter
+//!   under honest and adversarial schedules, and is readback-compared
+//!   against the in-memory oracle;
+//! * [`fuzz`] — structured packet-level fuzzing of the interpreter:
+//!   truncations, bad opcodes, CRC corruption, duplicate SYNC — every
+//!   corruption must surface a typed [`bitstream::ConfigError`] with a
+//!   byte offset, never a panic, never silent acceptance;
+//! * [`mutation`] — the harness's own self-check: ten seeded generator
+//!   bugs that the checks above must catch (the CI gate requires at
+//!   least nine of ten detected).
+//!
+//! Any failure reproduces from `Campaign::generate(seed)` — the seed is
+//! printed in every [`harness::Failure`].
+
+pub mod campaign;
+pub mod fuzz;
+pub mod harness;
+pub mod mutation;
+
+pub use campaign::{Campaign, CampaignOp};
+pub use fuzz::{fuzz_case, Corruption};
+pub use harness::{run_batch, run_case, run_project_case, CaseOutcome, Failure, Schedule};
+pub use mutation::{self_check, SeededBug};

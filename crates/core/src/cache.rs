@@ -317,6 +317,40 @@ mod tests {
     }
 
     #[test]
+    fn revert_of_one_frame_in_a_dirty_batch_drops_only_that_frame() {
+        // Write-then-revert on frame 8 alongside a real change on frame
+        // 12: the dirty set holds both, the emission set only frame 12.
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        let cache = FrameCache::new();
+        cache.prime(&mem);
+
+        mem.clear_dirty();
+        mem.set_bit(8, 5, true);
+        mem.set_bit(8, 5, false); // reverted to base content
+        mem.set_bit(12, 1, true); // real change
+        let mut dirty = mem.dirty_frames();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![8, 12], "dirty tracking is a superset");
+        assert_eq!(cache.filter_changed(&mem, dirty), vec![12]);
+    }
+
+    #[test]
+    fn matches_and_filter_changed_agree_after_revert() {
+        // The single-frame and batch paths share the verdict: a reverted
+        // frame hits on both, a changed frame misses on both.
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        let cache = FrameCache::new();
+        cache.prime_frames(&mem, [2, 3]);
+
+        mem.set_bit(2, 7, true);
+        mem.set_bit(2, 7, false);
+        mem.set_bit(3, 7, true);
+        assert!(cache.matches(FrameKey::of(&mem, 2), mem.frame(2)));
+        assert!(!cache.matches(FrameKey::of(&mem, 3), mem.frame(3)));
+        assert_eq!(cache.filter_changed(&mem, [2, 3]), vec![3]);
+    }
+
+    #[test]
     fn keys_distinguish_devices() {
         let a = ConfigMemory::new(Device::XCV50);
         let b = ConfigMemory::new(Device::XCV100);

@@ -64,9 +64,11 @@ impl Rect {
             .flat_map(move |r| (self.col0..=self.col1).map(move |c| TileCoord::new(r, c)))
     }
 
-    /// Column indices covered.
+    /// Column indices covered. Only in-fabric (non-negative) columns are
+    /// yielded: a region touching the IOB ring at column -1 must not wrap
+    /// to `usize::MAX` and claim ~2^64 columns.
     pub fn cols(&self) -> impl Iterator<Item = usize> + '_ {
-        (self.col0..=self.col1).map(|c| c as usize)
+        (self.col0.max(0)..=self.col1).map(|c| c as usize)
     }
 
     /// The `CLB_RxCy:CLB_RxCy` range syntax.
@@ -413,6 +415,19 @@ TIMESPEC "TS_clk" = PERIOD "clk" 20 ns ;
         assert_eq!(Rect::parse_range(&r.to_range_string()), Some(r));
         assert_eq!(Rect::parse_range("CLB_R0C1:CLB_R2C2"), None);
         assert_eq!(Rect::parse_range("garbage"), None);
+    }
+
+    #[test]
+    fn cols_clamp_negative_columns_instead_of_wrapping() {
+        // Regression: `-1 as usize` is 2^64 - 1, so a region touching
+        // the IOB ring used to yield a column iterator that started at
+        // usize::MAX.
+        let r = Rect::new(0, -1, 3, 2);
+        assert_eq!(r.cols().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let all_ring = Rect::new(0, -2, 3, -1);
+        assert_eq!(all_ring.cols().count(), 0);
+        let normal = Rect::new(0, 1, 3, 4);
+        assert_eq!(normal.cols().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Workspace-level conformance smoke: a bounded slice of the
+//! differential fuzz harness runs inside the ordinary test suite, so
+//! plain `cargo test` exercises the generator/interpreter/readback
+//! cross-checks even when nobody runs the dedicated `fuzz_smoke` binary.
+
+use conformance::harness::{run_batch, run_project_case};
+use conformance::{fuzz_case, mutation};
+
+#[test]
+fn conformance_harness_smoke_block() {
+    let outcomes = run_batch(0, 96).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(outcomes.len(), 96);
+    // The block must do real work: frames written and several devices.
+    assert!(outcomes.iter().map(|o| o.frames).sum::<usize>() > 100);
+    let devices: std::collections::HashSet<_> =
+        outcomes.iter().map(|o| format!("{:?}", o.device)).collect();
+    assert!(devices.len() >= 3, "device mix too narrow: {devices:?}");
+}
+
+#[test]
+fn packet_fuzz_smoke_block() {
+    for seed in 0..64 {
+        fuzz_case(seed).unwrap_or_else(|f| panic!("{f}"));
+    }
+}
+
+#[test]
+fn seeded_mutation_gate() {
+    let report = mutation::self_check(0xC0FFEE);
+    assert!(
+        report.detected.len() >= 9,
+        "harness must catch at least 9/10 seeded bugs; missed {:?}",
+        report.missed
+    );
+}
+
+#[test]
+fn project_trio_conformance() {
+    run_project_case(0).unwrap_or_else(|f| panic!("{f}"));
+}
