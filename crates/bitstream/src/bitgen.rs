@@ -106,6 +106,7 @@ fn far_word(geom: &ConfigGeometry, frame: usize) -> u32 {
 /// Generate a complete configuration bitstream for `mem` — the vendor
 /// `bitgen` equivalent.
 pub fn full_bitstream(mem: &ConfigMemory) -> Bitstream {
+    let _g = obs::span!("bitgen_full");
     let geom = mem.geometry();
     let mut w = BitstreamWriter::new();
     w.sync()
@@ -124,7 +125,11 @@ pub fn full_bitstream(mem: &ConfigMemory) -> Bitstream {
         .command(Command::Lfrm)
         .command(Command::Start)
         .command(Command::Desynch);
-    w.finish()
+    let bits = w.finish();
+    obs::counter!("bitgen_runs_total").inc();
+    obs::counter!("bitgen_frames_emitted_total").add(geom.total_frames() as u64);
+    obs::counter!("bitgen_bytes_total").add(bits.byte_len() as u64);
+    bits
 }
 
 /// Generate a partial bitstream writing only `ranges` of `mem`'s frames.
@@ -135,6 +140,7 @@ pub fn full_bitstream(mem: &ConfigMemory) -> Bitstream {
 /// in-flight logic is isolated during reconfiguration, matching the
 /// behaviour the paper relies on for dynamic updates.
 pub fn partial_bitstream(mem: &ConfigMemory, ranges: &[FrameRange]) -> Bitstream {
+    let _g = obs::span!("bitgen_serial", "runs" => ranges.len());
     let geom = mem.geometry();
     let mut w = BitstreamWriter::new();
     w.sync()
@@ -153,7 +159,17 @@ pub fn partial_bitstream(mem: &ConfigMemory, ranges: &[FrameRange]) -> Bitstream
         .command(Command::Lfrm)
         .command(Command::Start)
         .command(Command::Desynch);
-    w.finish()
+    let bits = w.finish();
+    record_emission(ranges, &bits);
+    bits
+}
+
+/// Counters shared by the serial and sharded emitters: packet runs,
+/// frames written (pad frames excluded), bytes out.
+fn record_emission(ranges: &[FrameRange], bits: &Bitstream) {
+    obs::counter!("bitgen_runs_total").add(ranges.len() as u64);
+    obs::counter!("bitgen_frames_emitted_total").add(ranges.iter().map(|r| r.len as u64).sum());
+    obs::counter!("bitgen_bytes_total").add(bits.byte_len() as u64);
 }
 
 /// One range's packet run — `FAR` seek, `WCFG`, `FDRI` write of the
@@ -167,6 +183,7 @@ struct RangeSection {
 }
 
 fn emit_range_section(mem: &ConfigMemory, range: FrameRange) -> RangeSection {
+    let _g = obs::span!("bitgen_shard", "frames" => range.len);
     let geom = mem.geometry();
     let fw = mem.frame_words();
     let payload_len = (range.len + 1) * fw; // frames + pad frame
@@ -222,6 +239,7 @@ pub fn partial_bitstream_par(mem: &ConfigMemory, ranges: &[FrameRange]) -> Bitst
 /// inline on a single worker: sections bulk-copy frame payloads and batch
 /// their CRC updates, where the serial writer streams word by word.
 pub fn partial_bitstream_stitched(mem: &ConfigMemory, ranges: &[FrameRange]) -> Bitstream {
+    let _g = obs::span!("bitgen_stitch", "runs" => ranges.len());
     let geom = mem.geometry();
     for range in ranges {
         assert!(range.valid_for(geom), "frame range out of bounds");
@@ -244,7 +262,9 @@ pub fn partial_bitstream_stitched(mem: &ConfigMemory, ranges: &[FrameRange]) -> 
         .command(Command::Lfrm)
         .command(Command::Start)
         .command(Command::Desynch);
-    w.finish()
+    let bits = w.finish();
+    record_emission(ranges, &bits);
+    bits
 }
 
 #[cfg(test)]

@@ -142,6 +142,32 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+impl ConfigError {
+    /// Short stable slug naming the error family — the `category` label
+    /// on the `interp_errors_total` metric.
+    pub fn category(&self) -> &'static str {
+        match self {
+            ConfigError::Packet(_) => "packet",
+            ConfigError::OrphanType2 => "orphan_type2",
+            ConfigError::CrcMismatch { .. } => "crc_mismatch",
+            ConfigError::IdcodeMismatch { .. } => "idcode_mismatch",
+            ConfigError::FrameLengthMismatch { .. } => "frame_length_mismatch",
+            ConfigError::BadFrameAddress(_) => "bad_frame_address",
+            ConfigError::FdriAlignment { .. } => "fdri_alignment",
+            ConfigError::WriteWithoutWcfg => "write_without_wcfg",
+            ConfigError::ReadWithoutRcfg => "read_without_rcfg",
+            ConfigError::FrameOverrun => "frame_overrun",
+            ConfigError::ReadOnlyRegister(_) => "read_only_register",
+            ConfigError::BadCommand(_) => "bad_command",
+            ConfigError::TruncatedPayload => "truncated_payload",
+            ConfigError::ReadOverrun { .. } => "read_overrun",
+            ConfigError::ReadbackLength { .. } => "readback_length",
+            ConfigError::InvalidConfiguration(_) => "invalid_configuration",
+            ConfigError::TransferFault => "transfer_fault",
+        }
+    }
+}
+
 impl From<PacketError> for ConfigError {
     fn from(e: PacketError) -> Self {
         ConfigError::Packet(e)
@@ -289,6 +315,24 @@ impl Interpreter {
     /// [`Self::feed_words`], reporting errors as [`StreamDiagnostic`]s
     /// that locate the offending packet in the stream.
     pub fn feed_words_traced(&mut self, words: &[u32]) -> Result<(), StreamDiagnostic> {
+        // Packets are tallied locally and flushed once per feed; typed
+        // errors are rare enough to pay the labeled-lookup path.
+        let mut packets = 0u64;
+        let res = self.feed_words_inner(words, &mut packets);
+        obs::counter!("interp_packets_total").add(packets);
+        if let Err(d) = &res {
+            obs::global()
+                .counter("interp_errors_total", &[("category", d.error.category())])
+                .inc();
+        }
+        res
+    }
+
+    fn feed_words_inner(
+        &mut self,
+        words: &[u32],
+        packets: &mut u64,
+    ) -> Result<(), StreamDiagnostic> {
         let mut i = 0usize;
         while i < words.len() {
             let header_at = i;
@@ -310,6 +354,7 @@ impl Interpreter {
                 packet,
             };
             let pkt = Packet::decode(w).map_err(|e| diag(e.into(), None))?;
+            *packets += 1;
             let (op, reg, count) = match pkt {
                 Packet::Type1 { op, reg, count } => {
                     self.last_reg = Some(reg);

@@ -120,6 +120,7 @@ fn stat_poll(dev: &mut Interpreter, seed: u64) -> Result<(), Failure> {
 /// Run one campaign case end to end. `Ok` carries reporting stats; `Err`
 /// is a conformance violation.
 pub fn run_case(seed: u64) -> Result<CaseOutcome, Failure> {
+    obs::counter!("conformance_cases_total").inc();
     let campaign = Campaign::generate(seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE_F00D_u64);
 

@@ -207,6 +207,8 @@ pub fn self_check(seed: u64) -> SelfCheckReport {
             Ok(()) => report.missed.push(bug),
         }
     }
+    obs::counter!("conformance_mutations_detected_total").add(report.detected.len() as u64);
+    obs::counter!("conformance_mutations_missed_total").add(report.missed.len() as u64);
     report
 }
 

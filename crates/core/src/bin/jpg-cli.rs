@@ -5,6 +5,8 @@
 //! jpg-cli info <file.bit>
 //! jpg-cli partial --base <base.bit> --xdl <mod.xdl> --ucf <mod.ucf>
 //!         --out <partial.bit> [--merge <updated-base.bit>] [--floorplan]
+//! jpg-cli report [--workload fig4|smoke] [--format table|json|prometheus|jsonl]
+//!         [--check-schema]
 //! ```
 
 use bitstream::BitFile;
@@ -17,11 +19,14 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("info") => info(&args[1..]),
         Some("partial") => partial(&args[1..]),
+        Some("report") => report(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  jpg-cli info <file.bit>\n  jpg-cli partial --base <base.bit> \
                  --xdl <mod.xdl> --ucf <mod.ucf> --out <partial.bit> \
-                 [--merge <updated.bit>] [--floorplan]"
+                 [--merge <updated.bit>] [--floorplan]\n  jpg-cli report \
+                 [--workload fig4|smoke] [--format table|json|prometheus|jsonl] \
+                 [--check-schema]"
             );
             ExitCode::from(2)
         }
@@ -137,4 +142,48 @@ fn partial(args: &[String]) -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e),
     }
+}
+
+/// Run a Figure-4-style workload with tracing live and print the stage
+/// breakdown plus the metric snapshot (see `jpg::report`).
+fn report(args: &[String]) -> ExitCode {
+    let (flags, _) = parse_flags(args);
+    let workload = match flags.get("workload").map(String::as_str) {
+        None | Some("") => jpg::report::Workload::Fig4,
+        Some(w) => match jpg::report::Workload::parse(w) {
+            Some(w) => w,
+            None => return fail(&format!("report: unknown workload {w:?}")),
+        },
+    };
+    let format = match flags.get("format").map(String::as_str) {
+        None | Some("") | Some("table") => "table",
+        Some(f @ ("json" | "prometheus" | "jsonl")) => f,
+        Some(f) => return fail(&format!("report: unknown format {f:?}")),
+    };
+    let r = match jpg::report::run(workload) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("report: {e}")),
+    };
+    match format {
+        "json" => println!("{}", jpg::report::render_json(&r)),
+        "prometheus" => print!("{}", jpg::report::render_prometheus(&r)),
+        "jsonl" => print!("{}", jpg::report::render_jsonl(&r)),
+        _ => print!("{}", jpg::report::render_table(&r)),
+    }
+    if flags.contains_key("check-schema") {
+        let missing = jpg::report::missing_metrics(&r);
+        if !missing.is_empty() {
+            return fail(&format!(
+                "report: snapshot is missing required metrics: {missing:?}"
+            ));
+        }
+        eprintln!(
+            "schema check: all {} required metrics present",
+            jpg::report::REQUIRED_METRICS.len()
+        );
+    }
+    if r.verify_failures > 0 {
+        return fail(&format!("report: {} verify failures", r.verify_failures));
+    }
+    ExitCode::SUCCESS
 }

@@ -126,9 +126,12 @@ impl FrameCache {
         let frames = frames.into_iter();
         let mut map = self.map.write().expect("cache lock");
         map.reserve(frames.size_hint().0);
+        let mut primed = 0u64;
         for idx in frames {
             map.insert(FrameKey::of(mem, idx), frame_hash(mem.frame(idx)));
+            primed += 1;
         }
+        obs::counter!("framecache_primed_total").add(primed);
     }
 
     /// Record one frame's content hash.
@@ -148,9 +151,11 @@ impl FrameCache {
         let cached = self.get(key);
         if cached == Some(frame_hash(words)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("framecache_hits_total").inc();
             true
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("framecache_misses_total").inc();
             false
         }
     }
@@ -184,6 +189,8 @@ impl FrameCache {
         }
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses.fetch_add(total - hits, Ordering::Relaxed);
+        obs::counter!("framecache_hits_total").add(hits as u64);
+        obs::counter!("framecache_misses_total").add((total - hits) as u64);
         changed
     }
 

@@ -53,6 +53,7 @@
 pub mod cache;
 pub mod floorplan;
 pub mod project;
+pub mod report;
 pub mod translate;
 pub mod workflow;
 

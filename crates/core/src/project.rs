@@ -181,8 +181,10 @@ impl JpgProject {
         xdl_text: &str,
         ucf_text: &str,
     ) -> Result<PartialResult, JpgError> {
-        let design = xdl::parse(xdl_text)?;
-        let constraints = Constraints::parse(ucf_text)?;
+        let (design, constraints) = {
+            let _g = obs::span!("parse");
+            (xdl::parse(xdl_text)?, Constraints::parse(ucf_text)?)
+        };
         self.generate_partial_from(&design, &constraints)
     }
 
@@ -201,10 +203,12 @@ impl JpgProject {
         // The target columns wholesale, coalesced into maximal runs, and
         // emitted with the column-sharded parallel generator (its output
         // is byte-identical to the serial path; the test suite pins it).
+        let _g = obs::span!("generate");
         let frames: Vec<usize> = stamped.ranges.iter().flat_map(|r| r.frames()).collect();
         let runs = bitgen::coalesce_frames(frames);
         let bits = bitgen::partial_bitstream_par(&stamped.memory, &runs);
         let total_frames: usize = runs.iter().map(|r| r.len).sum();
+        drop(_g);
         Ok(self.finish_partial(design, constraints, stamped, bits, total_frames))
     }
 
@@ -229,6 +233,7 @@ impl JpgProject {
         // A frame needs emitting only if (a) the stamp touched it — the
         // dirty byproduct, no full-memory scan — and (b) its content no
         // longer hash-matches the base.
+        let diff_span = obs::span!("diff");
         let frames = cache.filter_changed(
             memory,
             stamped
@@ -237,6 +242,7 @@ impl JpgProject {
                 .flat_map(|r| r.frames())
                 .filter(|&f| memory.is_frame_dirty(f)),
         );
+        drop(diff_span);
 
         // Cross-check against the ground-truth content diff in debug
         // builds: the cheap dirty+hash decision must agree with a real
@@ -257,9 +263,11 @@ impl JpgProject {
 
         // Bridge single-frame gaps: re-emitting one unchanged frame is
         // cheaper than a fresh packet run plus its pipeline pad frame.
+        let _g = obs::span!("generate");
         let runs = bitgen::coalesce_frames_bridged(frames, 1);
         let bits = bitgen::partial_bitstream_par(memory, &runs);
         let total_frames: usize = runs.iter().map(|r| r.len).sum();
+        drop(_g);
         Ok(self.finish_partial(design, constraints, stamped, bits, total_frames))
     }
 
@@ -278,11 +286,15 @@ impl JpgProject {
         constraints: &Constraints,
     ) -> Result<PartialResult, JpgError> {
         let stamped = self.stamp_module(design, constraints)?;
+        let diff_span = obs::span!("diff");
         let diff = stamped.memory.diff_frames(&self.base);
         let frames = jbits::expand_to_columns(&stamped.memory, diff);
+        drop(diff_span);
+        let _g = obs::span!("generate");
         let runs = bitgen::coalesce_frames(frames);
         let bits = bitgen::partial_bitstream(&stamped.memory, &runs);
         let total_frames: usize = runs.iter().map(|r| r.len).sum();
+        drop(_g);
         Ok(self.finish_partial(design, constraints, stamped, bits, total_frames))
     }
 
@@ -296,6 +308,7 @@ impl JpgProject {
         design: &Design,
         constraints: &Constraints,
     ) -> Result<StampedModule, JpgError> {
+        let _g = obs::span!("translate");
         if design.device != self.device() {
             return Err(JpgError::DeviceMismatch {
                 module: design.device,
@@ -378,6 +391,7 @@ impl JpgProject {
         let mut jb = Jbits::from_memory_tracked(mem);
         let stats = apply_design(&mut jb, design)?;
         let memory = jb.into_memory();
+        obs::counter!("jpg_frames_dirtied_total").add(memory.dirty_frames().len() as u64);
 
         Ok(StampedModule {
             clb_cols,

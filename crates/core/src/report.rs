@@ -1,0 +1,395 @@
+//! The engine behind `jpg-cli report`: run a Figure-4-style workload
+//! through the full pipeline — parse, translate, diff, generate,
+//! download, verify — with span tracing and the metric registry live,
+//! then render the per-stage breakdown and metric snapshot.
+//!
+//! The workload mirrors the paper's evaluation scenario (§4.1,
+//! Figure 4): a multi-region base design on a Virtex part, a library of
+//! interchangeable module variants per region, partial bitstreams
+//! generated for each variant and pushed to a simulated board with a
+//! region readback compare after every download. Stage timings mix two
+//! clocks deliberately: CAD-side stages (parse/translate/diff/generate)
+//! are wall-clock spans, while download and verify carry the *simulated*
+//! SelectMAP byte-cycle durations — the paper's argument is about port
+//! time, not host time.
+
+use crate::cache::FrameCache;
+use crate::project::JpgProject;
+use crate::workflow::{build_base, implement_variant, BaseDesign, ModuleSpec};
+use cadflow::gen;
+use cadflow::netlist::Netlist;
+use jbits::Xhwif;
+use simboard::port::download_time;
+use simboard::SimBoard;
+use virtex::Device;
+use xdl::{Constraints, Rect};
+
+/// Metric names every report run must register — the CI schema-drift
+/// guard (`jpg-cli report --check-schema`) fails if any is absent from
+/// the snapshot. Keep this list in sync with the instrumentation sites;
+/// a rename without a matching update here is exactly the drift the
+/// guard exists to catch.
+pub const REQUIRED_METRICS: &[&str] = &[
+    "xdl_lines_parsed_total",
+    "xdl_records_parsed_total",
+    "jbits_writes_total",
+    "jpg_frames_dirtied_total",
+    "framecache_hits_total",
+    "framecache_misses_total",
+    "framecache_primed_total",
+    "bitgen_runs_total",
+    "bitgen_frames_emitted_total",
+    "bitgen_bytes_total",
+    "interp_packets_total",
+    "simboard_downloads_total",
+    "simboard_download_bytes_total",
+];
+
+/// The canonical pipeline order for the stage table; spans outside this
+/// list (bitgen internals, …) sort after, by first occurrence.
+const STAGE_ORDER: &[&str] = &[
+    "parse",
+    "translate",
+    "diff",
+    "generate",
+    "download",
+    "verify",
+];
+
+/// Which scenario `report` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The paper's Figure-4 scenario: XCV100, three full-height regions,
+    /// ten module variants.
+    Fig4,
+    /// A one-region, two-variant XCV50 scenario for fast runs (debug
+    /// builds, CI smoke).
+    Smoke,
+}
+
+impl Workload {
+    /// Parse a `--workload` argument.
+    pub fn parse(s: &str) -> Option<Workload> {
+        match s {
+            "fig4" => Some(Workload::Fig4),
+            "smoke" => Some(Workload::Smoke),
+            _ => None,
+        }
+    }
+
+    /// The workload's name as the CLI spells it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Fig4 => "fig4",
+            Workload::Smoke => "smoke",
+        }
+    }
+}
+
+struct RegionPlan {
+    prefix: &'static str,
+    region: Rect,
+    variants: Vec<Netlist>,
+}
+
+fn plan(workload: Workload) -> (Device, u64, Vec<RegionPlan>) {
+    match workload {
+        // Mirrors `bench::fig4_regions` (the bench crate sits above this
+        // one, so the scenario is restated rather than imported).
+        Workload::Fig4 => (
+            Device::XCV100,
+            11,
+            vec![
+                RegionPlan {
+                    prefix: "region1/",
+                    region: Rect::new(0, 1, 19, 8),
+                    variants: vec![
+                        gen::counter("up", 3),
+                        gen::down_counter("down", 3),
+                        gen::gray_counter("gray", 3),
+                    ],
+                },
+                RegionPlan {
+                    prefix: "region2/",
+                    region: Rect::new(0, 11, 19, 18),
+                    variants: vec![
+                        gen::parity("par8", 8),
+                        gen::string_matcher("match", &[true, false, true]),
+                        gen::lfsr("lfsr", 4),
+                    ],
+                },
+                RegionPlan {
+                    prefix: "region3/",
+                    region: Rect::new(0, 21, 19, 28),
+                    variants: vec![
+                        gen::counter("up4", 4),
+                        gen::accumulator("acc", 3),
+                        gen::lfsr("lfsr5", 5),
+                        gen::gray_counter("gray4", 4),
+                    ],
+                },
+            ],
+        ),
+        Workload::Smoke => (
+            Device::XCV50,
+            7,
+            vec![RegionPlan {
+                prefix: "mod1/",
+                region: Rect::new(0, 2, 15, 7),
+                variants: vec![gen::counter("up", 3), gen::down_counter("down", 3)],
+            }],
+        ),
+    }
+}
+
+/// The outcome of one report run.
+#[derive(Debug)]
+pub struct Report {
+    /// Which workload ran.
+    pub workload: Workload,
+    /// Per-stage aggregates, pipeline stages first.
+    pub stages: Vec<obs::SpanStat>,
+    /// Raw span events (for JSONL export).
+    pub spans: Vec<obs::SpanEvent>,
+    /// Snapshot of the global metric registry after the run.
+    pub snapshot: obs::Snapshot,
+    /// Partial bitstreams generated and downloaded.
+    pub partials: usize,
+    /// Bytes of the base design's complete bitstream.
+    pub full_bytes: usize,
+    /// Mean partial size in bytes.
+    pub mean_partial_bytes: usize,
+    /// Region readback compares that found a mismatch (0 on a clean run).
+    pub verify_failures: usize,
+}
+
+/// Run `workload` end to end with tracing live and collect the report.
+pub fn run(workload: Workload) -> Result<Report, String> {
+    let collector = std::sync::Arc::new(obs::VecCollector::new(1 << 17));
+    obs::set_collector(Some(collector.clone()));
+    let result = run_traced(workload);
+    obs::set_collector(None);
+    let spans = collector.take();
+    let (partials, full_bytes, partial_bytes, verify_failures) = result?;
+
+    let mut stats = obs::aggregate_spans(&spans);
+    stats.sort_by_key(|s| {
+        STAGE_ORDER
+            .iter()
+            .position(|&n| n == s.name)
+            .unwrap_or(STAGE_ORDER.len())
+    });
+    Ok(Report {
+        workload,
+        stages: stats,
+        spans,
+        snapshot: obs::global().snapshot(),
+        partials,
+        full_bytes,
+        mean_partial_bytes: partial_bytes.checked_div(partials).unwrap_or(0),
+        verify_failures,
+    })
+}
+
+fn run_traced(workload: Workload) -> Result<(usize, usize, usize, usize), String> {
+    let (device, seed, regions) = plan(workload);
+
+    // Phase 1: the base design (counters for translate/bitgen fire here;
+    // the stage spans start with the per-variant JPG runs below).
+    let modules: Vec<ModuleSpec> = regions
+        .iter()
+        .map(|r| ModuleSpec {
+            prefix: r.prefix.to_string(),
+            netlist: r.variants[0].clone(),
+            region: r.region,
+        })
+        .collect();
+    let base: BaseDesign =
+        build_base("report", device, &modules, seed).map_err(|e| e.to_string())?;
+    let project = JpgProject::from_memory("report", base.memory.clone());
+    let full_bytes = base.bitstream.bitstream.byte_len();
+
+    // Prime the frame cache with the base image over the module regions
+    // (plus the IOB edge columns the partials may touch).
+    let cache = FrameCache::new();
+    for r in &regions {
+        cache.prime_frames(
+            &base.memory,
+            crate::workflow::region_frame_ranges(&base.memory, r.region)
+                .iter()
+                .flat_map(|fr| fr.frames()),
+        );
+    }
+
+    // The board boots with the complete base bitstream — the download
+    // stage's first, biggest sample.
+    let mut board = SimBoard::new(device);
+    board
+        .set_configuration(&base.bitstream.bitstream)
+        .map_err(|e| e.to_string())?;
+
+    let mut partials = 0usize;
+    let mut partial_bytes = 0usize;
+    let mut verify_failures = 0usize;
+
+    // Phase 2: re-implement every non-base variant, generate its partial
+    // two ways (incremental for the diff stage, wholesale for the
+    // download), push it to the board and verify the region.
+    for r in &regions {
+        for (vi, netlist) in r.variants.iter().enumerate().skip(1) {
+            let variant = implement_variant(&base, r.prefix, netlist, seed + vi as u64)
+                .map_err(|e| e.to_string())?;
+
+            // Incremental partial: exercises the diff stage (dirty-frame
+            // tracking + frame-cache hash compare). Only valid over base
+            // content, so it is generated but not downloaded here.
+            let constraints = Constraints::parse(&variant.ucf).map_err(|e| e.to_string())?;
+            let _incremental = project
+                .generate_partial_incremental(&variant.design, &constraints, &cache)
+                .map_err(|e| e.to_string())?;
+
+            // Wholesale partial from the XDL/UCF text — the paper's JPG
+            // input path; covers whole columns, safe over any variant.
+            let partial = project
+                .generate_partial(&variant.xdl, &variant.ucf)
+                .map_err(|e| e.to_string())?;
+            partials += 1;
+            partial_bytes += partial.bitstream.byte_len();
+
+            board
+                .set_configuration(&partial.bitstream)
+                .map_err(|e| e.to_string())?;
+
+            // Verify: read the partial's own columns back and compare
+            // with the stamped image. Port time is simulated, so the
+            // verify stage records the readback's modeled duration.
+            let ranges = crate::workflow::region_frame_ranges(&partial.memory, partial.region);
+            let mut readback_bytes = 0usize;
+            let mut mismatch = false;
+            for range in &ranges {
+                let words = board
+                    .get_configuration_region(*range)
+                    .map_err(|e| e.to_string())?;
+                readback_bytes += words.len() * 4;
+                let fw = partial.memory.frame_words();
+                for (i, f) in range.frames().enumerate() {
+                    if words[i * fw..(i + 1) * fw] != *partial.memory.frame(f) {
+                        mismatch = true;
+                    }
+                }
+            }
+            obs::record_duration_with(
+                "verify",
+                download_time(readback_bytes),
+                vec![("bytes", readback_bytes.to_string())],
+            );
+            if mismatch {
+                verify_failures += 1;
+            }
+        }
+    }
+    Ok((partials, full_bytes, partial_bytes, verify_failures))
+}
+
+/// Names from [`REQUIRED_METRICS`] missing from the snapshot — empty on
+/// a healthy build.
+pub fn missing_metrics(report: &Report) -> Vec<&'static str> {
+    REQUIRED_METRICS
+        .iter()
+        .copied()
+        .filter(|name| !report.snapshot.has_metric(name))
+        .collect()
+}
+
+/// Human-readable report: workload summary, stage table, metric table.
+pub fn render_table(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "workload {}: {} partials, full bitstream {} bytes, mean partial {} bytes ({:.1}%), {} verify failures\n\n",
+        report.workload.name(),
+        report.partials,
+        report.full_bytes,
+        report.mean_partial_bytes,
+        100.0 * report.mean_partial_bytes as f64 / report.full_bytes.max(1) as f64,
+        report.verify_failures,
+    ));
+    out.push_str(&obs::span_table(&report.stages));
+    out.push('\n');
+    out.push_str(&obs::table(&report.snapshot));
+    out
+}
+
+/// JSON report: workload, stage aggregates, metric samples. One object,
+/// stable key order (schema-checked in CI).
+pub fn render_json(report: &Report) -> String {
+    let stages: Vec<String> = report
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"stage\":\"{}\",\"count\":{},\"total_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}",
+                s.name,
+                s.count,
+                s.total_ns,
+                s.mean_ns(),
+                s.max_ns
+            )
+        })
+        .collect();
+    format!(
+        "{{\"workload\":\"{}\",\"partials\":{},\"full_bytes\":{},\"mean_partial_bytes\":{},\"verify_failures\":{},\"stages\":[{}],\"metrics\":{}}}",
+        report.workload.name(),
+        report.partials,
+        report.full_bytes,
+        report.mean_partial_bytes,
+        report.verify_failures,
+        stages.join(","),
+        obs::snapshot_json(&report.snapshot),
+    )
+}
+
+/// Prometheus text-format export of the metric snapshot.
+pub fn render_prometheus(report: &Report) -> String {
+    obs::prometheus(&report.snapshot)
+}
+
+/// JSONL export of the raw span events.
+pub fn render_jsonl(report: &Report) -> String {
+    obs::jsonl_spans(&report.spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One in-process smoke run covers the engine; the CLI integration
+    // tests (tests/cli.rs) cover the formats end to end in a subprocess
+    // with a clean global registry.
+    #[test]
+    fn smoke_workload_covers_all_stages_and_metrics() {
+        let report = run(Workload::Smoke).expect("smoke workload runs");
+        assert_eq!(report.verify_failures, 0);
+        assert!(report.partials >= 1);
+        assert!(report.mean_partial_bytes > 0);
+        assert!(report.mean_partial_bytes < report.full_bytes / 2);
+        assert_eq!(missing_metrics(&report), Vec::<&str>::new());
+        // All six pipeline stages appear, in canonical order.
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
+        let canonical: Vec<&str> = names
+            .iter()
+            .copied()
+            .filter(|n| STAGE_ORDER.contains(n))
+            .collect();
+        assert_eq!(canonical, STAGE_ORDER);
+        let table = render_table(&report);
+        for stage in STAGE_ORDER {
+            assert!(table.contains(stage), "stage {stage} missing from table");
+        }
+        let json = render_json(&report);
+        assert!(json.contains("\"workload\":\"smoke\""));
+        assert!(json.contains("\"stage\":\"download\""));
+        let prom = render_prometheus(&report);
+        assert!(prom.contains("# TYPE bitgen_bytes_total counter"));
+        assert!(!render_jsonl(&report).is_empty());
+    }
+}

@@ -306,6 +306,12 @@ pub fn apply_design(jb: &mut Jbits, design: &Design) -> Result<TranslateStats, T
             stats.pip_writes += 1;
         }
     }
+    // One aggregate add per kind, not one per set_bit: keeps the obs
+    // cost off the inner loop.
+    obs::counter!("jbits_writes_total", "kind" => "lut").add(stats.lut_writes as u64);
+    obs::counter!("jbits_writes_total", "kind" => "resource").add(stats.resource_writes as u64);
+    obs::counter!("jbits_writes_total", "kind" => "iob").add(stats.iob_writes as u64);
+    obs::counter!("jbits_writes_total", "kind" => "pip").add(stats.pip_writes as u64);
     Ok(stats)
 }
 

@@ -96,6 +96,84 @@ fn partial_command_end_to_end() {
 }
 
 #[test]
+fn report_command_prints_all_formats_and_passes_schema_check() {
+    // The smoke workload keeps this affordable in a debug binary; the
+    // fig4 workload is exercised in CI against the release binary.
+    let table = Command::new(bin())
+        .args(["report", "--workload", "smoke", "--check-schema"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&table.stderr);
+    assert!(table.status.success(), "report failed: {stderr}");
+    let stdout = String::from_utf8_lossy(&table.stdout);
+    for stage in [
+        "parse",
+        "translate",
+        "diff",
+        "generate",
+        "download",
+        "verify",
+    ] {
+        assert!(stdout.contains(stage), "stage {stage} missing:\n{stdout}");
+    }
+    assert!(stdout.contains("0 verify failures"), "{stdout}");
+    assert!(
+        stderr.contains("all 13 required metrics present"),
+        "{stderr}"
+    );
+
+    let json = Command::new(bin())
+        .args(["report", "--workload", "smoke", "--format", "json"])
+        .output()
+        .unwrap();
+    assert!(json.status.success());
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(stdout.starts_with("{\"workload\":\"smoke\""), "{stdout}");
+    for name in jpg::report::REQUIRED_METRICS {
+        assert!(
+            stdout.contains(&format!("\"name\":\"{name}\"")),
+            "metric {name} missing from JSON:\n{stdout}"
+        );
+    }
+
+    let prom = Command::new(bin())
+        .args(["report", "--workload", "smoke", "--format", "prometheus"])
+        .output()
+        .unwrap();
+    assert!(prom.status.success());
+    let stdout = String::from_utf8_lossy(&prom.stdout);
+    assert!(
+        stdout.contains("# TYPE bitgen_bytes_total counter"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("interp_packets_total "), "{stdout}");
+
+    let jsonl = Command::new(bin())
+        .args(["report", "--workload", "smoke", "--format", "jsonl"])
+        .output()
+        .unwrap();
+    assert!(jsonl.status.success());
+    let stdout = String::from_utf8_lossy(&jsonl.stdout);
+    assert!(stdout.lines().count() > 5, "{stdout}");
+    assert!(
+        stdout.lines().all(|l| l.starts_with("{\"span\":\"")),
+        "{stdout}"
+    );
+
+    // Bad arguments are rejected.
+    let bad = Command::new(bin())
+        .args(["report", "--workload", "nope"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    let bad = Command::new(bin())
+        .args(["report", "--format", "xml"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+}
+
+#[test]
 fn cli_rejects_bad_inputs() {
     let dir = tmpdir("bad");
     // Missing args.

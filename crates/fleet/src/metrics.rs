@@ -1,188 +1,119 @@
-//! Service counters and latency histograms.
+//! Service counters and latency histograms, backed by the shared
+//! [`obs`] registry.
 //!
-//! Everything here is lock-free (`Ordering::Relaxed` atomics): worker
-//! threads record on the serving path, and exactness across a data race
-//! is irrelevant for operational metrics. Latencies are *simulated*
-//! durations from the SelectMAP byte-cycle model, not wall-clock — the
-//! numbers answer "what would this fleet's boards be doing", which is
-//! what the paper's download-time argument is about.
+//! The instruments themselves (`Counter`/`Gauge`/`Histogram`) were
+//! promoted into the `obs` crate; this module keeps the fleet-facing
+//! shape — a [`FleetMetrics`] struct of named fields workers poke
+//! directly — while registering every instrument in a per-fleet
+//! [`obs::Registry`] so the whole service state is exportable as one
+//! [`obs::Snapshot`] (Prometheus text, JSON, table). The instrument
+//! names and semantics are exactly the E10 example/bench counters;
+//! only their storage moved.
+//!
+//! Latencies are *simulated* durations from the SelectMAP byte-cycle
+//! model, not wall-clock — the numbers answer "what would this fleet's
+//! boards be doing", which is what the paper's download-time argument
+//! is about.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::time::Duration;
-
-/// A monotonically increasing counter.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Add `n`.
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Add one.
-    pub fn inc(&self) {
-        self.add(1);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// A gauge with a high-water mark (queue depth).
-#[derive(Debug, Default)]
-pub struct Gauge {
-    current: AtomicI64,
-    high: AtomicI64,
-}
-
-impl Gauge {
-    /// Raise the gauge by one, updating the high-water mark.
-    pub fn inc(&self) {
-        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1;
-        self.high.fetch_max(now, Ordering::Relaxed);
-    }
-
-    /// Lower the gauge by one.
-    pub fn dec(&self) {
-        self.current.fetch_sub(1, Ordering::Relaxed);
-    }
-
-    /// Current level.
-    pub fn current(&self) -> i64 {
-        self.current.load(Ordering::Relaxed)
-    }
-
-    /// Highest level seen.
-    pub fn high_water(&self) -> i64 {
-        self.high.load(Ordering::Relaxed)
-    }
-}
-
-/// Histogram bucket upper bounds, in microseconds. Downloads on the
-/// 50 MHz byte-wide port range from a few µs (a one-column partial) to a
-/// few ms (a complete bitstream), so log-ish buckets over 1 µs – 5 ms
-/// cover the service; a final overflow bucket takes the rest.
-const BUCKET_BOUNDS_US: [u64; 12] = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
-
-/// A fixed-bucket latency histogram.
-#[derive(Debug, Default)]
-pub struct Histogram {
-    buckets: [Counter; BUCKET_BOUNDS_US.len() + 1],
-    count: Counter,
-    sum_ns: Counter,
-    max_ns: AtomicU64,
-}
-
-impl Histogram {
-    /// Record one sample.
-    pub fn record(&self, d: Duration) {
-        let us = d.as_micros() as u64;
-        let idx = BUCKET_BOUNDS_US
-            .iter()
-            .position(|&b| us <= b)
-            .unwrap_or(BUCKET_BOUNDS_US.len());
-        self.buckets[idx].inc();
-        self.count.inc();
-        self.sum_ns.add(d.as_nanos() as u64);
-        self.max_ns
-            .fetch_max(d.as_nanos() as u64, Ordering::Relaxed);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count.get()
-    }
-
-    /// Mean sample, zero when empty.
-    pub fn mean(&self) -> Duration {
-        match self.count() {
-            0 => Duration::ZERO,
-            n => Duration::from_nanos(self.sum_ns.get() / n),
-        }
-    }
-
-    /// Largest sample.
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
-    }
-
-    /// Upper bound of the bucket containing the `p`-quantile (0 < p ≤ 1);
-    /// the overflow bucket reports the observed maximum.
-    pub fn quantile(&self, p: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((total as f64) * p).ceil() as u64;
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.get();
-            if seen >= target {
-                return match BUCKET_BOUNDS_US.get(i) {
-                    Some(&us) => Duration::from_micros(us),
-                    None => self.max(),
-                };
-            }
-        }
-        self.max()
-    }
-
-    /// One-line summary for reports.
-    pub fn summary(&self) -> String {
-        format!(
-            "n={} mean={:?} p50={:?} p99={:?} max={:?}",
-            self.count(),
-            self.mean(),
-            self.quantile(0.50),
-            self.quantile(0.99),
-            self.max()
-        )
-    }
-}
+pub use obs::{Counter, Gauge, Histogram};
+use std::sync::Arc;
 
 /// The fleet's instrumentation, shared by every worker.
-#[derive(Debug, Default)]
+///
+/// Each instrument is also registered (under the `fleet_` prefix) in
+/// the [`FleetMetrics::registry`] attached to this instance, so
+/// `metrics.registry().snapshot()` exports the same numbers the fields
+/// read.
+#[derive(Debug)]
 pub struct FleetMetrics {
+    registry: Arc<obs::Registry>,
     /// Requests accepted into the queue.
-    pub requests_enqueued: Counter,
+    pub requests_enqueued: Arc<Counter>,
     /// Requests served to completion (verified).
-    pub requests_served: Counter,
+    pub requests_served: Arc<Counter>,
     /// Requests that exhausted their retry budget.
-    pub requests_failed: Counter,
+    pub requests_failed: Arc<Counter>,
     /// Bitstream downloads attempted (including retries).
-    pub downloads: Counter,
+    pub downloads: Arc<Counter>,
     /// Bytes pushed through configuration ports.
-    pub download_bytes: Counter,
+    pub download_bytes: Arc<Counter>,
     /// Bytes read back for verification.
-    pub readback_bytes: Counter,
+    pub readback_bytes: Arc<Counter>,
     /// Download attempts that ended in a port error or failed verify.
-    pub retries: Counter,
+    pub retries: Arc<Counter>,
     /// Region readback compares that found a mismatch.
-    pub verify_failures: Counter,
+    pub verify_failures: Arc<Counter>,
     /// Store lookups resolved from an already-generated partial.
-    pub store_hits: Counter,
+    pub store_hits: Arc<Counter>,
     /// Store lookups that had to generate.
-    pub store_misses: Counter,
+    pub store_misses: Arc<Counter>,
     /// Requests served without any download (variant already resident).
-    pub resident_hits: Counter,
+    pub resident_hits: Arc<Counter>,
     /// Live queue depth and its high-water mark.
-    pub queue_depth: Gauge,
+    pub queue_depth: Arc<Gauge>,
     /// Simulated port time per download attempt.
-    pub download_latency: Histogram,
+    pub download_latency: Arc<Histogram>,
     /// Simulated port time per verification readback.
-    pub verify_latency: Histogram,
+    pub verify_latency: Arc<Histogram>,
     /// Simulated end-to-end port time per request (download + verify +
     /// retries + backoff).
-    pub request_latency: Histogram,
+    pub request_latency: Arc<Histogram>,
+}
+
+impl Default for FleetMetrics {
+    fn default() -> FleetMetrics {
+        FleetMetrics::new()
+    }
 }
 
 impl FleetMetrics {
-    /// Fresh, zeroed instrumentation.
+    /// Fresh, zeroed instrumentation in its own registry (each fleet
+    /// keeps isolated numbers; nothing leaks across instances).
     pub fn new() -> FleetMetrics {
-        FleetMetrics::default()
+        FleetMetrics::in_registry(Arc::new(obs::Registry::new()))
+    }
+
+    /// Instrumentation registered in `registry` — inject the
+    /// [`obs::global`] registry (wrapped in an `Arc`) to fold fleet
+    /// counters into a process-wide snapshot.
+    pub fn in_registry(registry: Arc<obs::Registry>) -> FleetMetrics {
+        let c = |name: &str| registry.counter(name, &[]);
+        FleetMetrics {
+            requests_enqueued: c("fleet_requests_enqueued_total"),
+            requests_served: c("fleet_requests_served_total"),
+            requests_failed: c("fleet_requests_failed_total"),
+            downloads: c("fleet_downloads_total"),
+            download_bytes: c("fleet_download_bytes_total"),
+            readback_bytes: c("fleet_readback_bytes_total"),
+            retries: c("fleet_retries_total"),
+            verify_failures: c("fleet_verify_failures_total"),
+            store_hits: c("fleet_store_hits_total"),
+            store_misses: c("fleet_store_misses_total"),
+            resident_hits: c("fleet_resident_hits_total"),
+            queue_depth: registry.gauge("fleet_queue_depth", &[]),
+            download_latency: registry.histogram_with(
+                "fleet_download_latency_us",
+                &[],
+                &obs::presets::SELECTMAP_LATENCY_US,
+            ),
+            verify_latency: registry.histogram_with(
+                "fleet_verify_latency_us",
+                &[],
+                &obs::presets::SELECTMAP_LATENCY_US,
+            ),
+            request_latency: registry.histogram_with(
+                "fleet_request_latency_us",
+                &[],
+                &obs::presets::SELECTMAP_LATENCY_US,
+            ),
+            registry,
+        }
+    }
+
+    /// The registry holding this fleet's instruments; snapshot it to
+    /// export the service state.
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
     }
 
     /// Fraction of store lookups served from an existing partial.
@@ -240,6 +171,7 @@ impl FleetMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn histogram_buckets_and_quantiles() {
@@ -276,5 +208,22 @@ mod tests {
         m.store_misses.inc();
         assert!((m.store_hit_rate() - 0.75).abs() < 1e-12);
         assert!(m.report().contains("75% hit rate"));
+    }
+
+    #[test]
+    fn fields_and_registry_snapshot_agree() {
+        let m = FleetMetrics::new();
+        m.downloads.add(4);
+        m.queue_depth.inc();
+        m.download_latency.record(Duration::from_micros(30));
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter_total("fleet_downloads_total"), Some(4));
+        assert!(snap.has_metric("fleet_queue_depth"));
+        assert!(snap.has_metric("fleet_download_latency_us"));
+        // Every instrument is registered up front, zeroed or not.
+        assert_eq!(snap.samples.len(), 15);
+        // Two fleets never share numbers.
+        let other = FleetMetrics::new();
+        assert_eq!(other.downloads.get(), 0);
     }
 }

@@ -1,0 +1,404 @@
+//! Exporters: Prometheus text format, JSON snapshot, JSON-lines span
+//! events, and human-readable tables.
+//!
+//! All output is deterministic for a given [`Snapshot`]/event list:
+//! samples are already sorted by `(name, labels)`, JSON object keys are
+//! emitted in a fixed order, and label values are escaped — so exporter
+//! output can be golden-tested and diffed across runs.
+//!
+//! Unit conventions: histogram bucket bounds (`le`) are microseconds,
+//! matching the `_us` suffix the workspace uses for latency metrics;
+//! `_sum` is exported in microseconds as a decimal so bucket bounds and
+//! sums share a unit.
+
+use crate::registry::{Sample, Snapshot, Value};
+use crate::span::SpanEvent;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Escape a Prometheus label value: backslash, double quote, newline.
+fn prom_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `{a="1",b="2"}` (empty string when there are no labels),
+/// optionally with an extra label appended (used for `le`).
+fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", prom_escape(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges map directly (the gauge's high-water mark is a
+/// companion `<name>_high_water` gauge). Histograms emit cumulative
+/// `<name>_bucket{le="…"}` series with microsecond bounds, then
+/// `<name>_sum` (µs) and `<name>_count`.
+pub fn prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<(&str, &str)> = None;
+    for s in &snap.samples {
+        let kind = match s.value {
+            Value::Counter(_) => "counter",
+            Value::Gauge { .. } => "gauge",
+            Value::Histogram { .. } => "histogram",
+        };
+        if last_typed != Some((s.name.as_str(), kind)) {
+            let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+            last_typed = Some((s.name.as_str(), kind));
+        }
+        match &s.value {
+            Value::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", s.name, prom_labels(&s.labels, None), v);
+            }
+            Value::Gauge {
+                current,
+                high_water,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    s.name,
+                    prom_labels(&s.labels, None),
+                    current
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_high_water{} {}",
+                    s.name,
+                    prom_labels(&s.labels, None),
+                    high_water
+                );
+            }
+            Value::Histogram {
+                bounds_us,
+                buckets,
+                count,
+                sum_ns,
+                ..
+            } => {
+                let mut cum = 0u64;
+                for (i, b) in buckets.iter().enumerate() {
+                    cum += b;
+                    let le = match bounds_us.get(i) {
+                        Some(us) => us.to_string(),
+                        None => "+Inf".to_string(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        prom_labels(&s.labels, Some(("le", &le))),
+                        cum
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    s.name,
+                    prom_labels(&s.labels, None),
+                    format_us(*sum_ns)
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    s.name,
+                    prom_labels(&s.labels, None),
+                    count
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Nanoseconds as a microsecond decimal with no trailing zeros
+/// (`1500` ns → `1.5`).
+fn format_us(ns: u64) -> String {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        whole.to_string()
+    } else {
+        let s = format!("{whole}.{frac:03}");
+        s.trim_end_matches('0').to_string()
+    }
+}
+
+/// Escape a JSON string value.
+fn json_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+fn json_u64s(v: &[u64]) -> String {
+    let parts: Vec<String> = v.iter().map(u64::to_string).collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn json_sample(s: &Sample) -> String {
+    let head = format!(
+        "{{\"name\":\"{}\",\"labels\":{}",
+        json_escape(&s.name),
+        json_labels(&s.labels)
+    );
+    match &s.value {
+        Value::Counter(v) => format!("{head},\"type\":\"counter\",\"value\":{v}}}"),
+        Value::Gauge {
+            current,
+            high_water,
+        } => format!(
+            "{head},\"type\":\"gauge\",\"current\":{current},\"high_water\":{high_water}}}"
+        ),
+        Value::Histogram {
+            bounds_us,
+            buckets,
+            count,
+            sum_ns,
+            max_ns,
+        } => format!(
+            "{head},\"type\":\"histogram\",\"bounds_us\":{},\"buckets\":{},\"count\":{count},\"sum_ns\":{sum_ns},\"max_ns\":{max_ns}}}",
+            json_u64s(bounds_us),
+            json_u64s(buckets)
+        ),
+    }
+}
+
+/// Render a snapshot as one JSON object: `{"samples":[…]}` with fixed
+/// key order, samples sorted by `(name, labels)`.
+pub fn snapshot_json(snap: &Snapshot) -> String {
+    let parts: Vec<String> = snap.samples.iter().map(json_sample).collect();
+    format!("{{\"samples\":[{}]}}", parts.join(","))
+}
+
+/// Render span events as JSON lines, one event per line, keys in fixed
+/// order: `span`, `start_ns`, `dur_ns`, `depth`, `thread`, `fields`.
+pub fn jsonl_spans(events: &[SpanEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let fields: Vec<String> = e
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"span\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"depth\":{},\"thread\":{},\"fields\":{{{}}}}}",
+            json_escape(e.name),
+            e.start_ns,
+            e.dur_ns,
+            e.depth,
+            e.thread,
+            fields.join(",")
+        );
+    }
+    out
+}
+
+fn fmt_duration(ns: u64) -> String {
+    format!("{:?}", Duration::from_nanos(ns))
+}
+
+/// Render a snapshot as an aligned human-readable table.
+pub fn table(snap: &Snapshot) -> String {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for s in &snap.samples {
+        let name = format!("{}{}", s.name, prom_labels(&s.labels, None));
+        let value = match &s.value {
+            Value::Counter(v) => v.to_string(),
+            Value::Gauge {
+                current,
+                high_water,
+            } => format!("{current} (high {high_water})"),
+            Value::Histogram {
+                count,
+                sum_ns,
+                max_ns,
+                ..
+            } => {
+                let mean = if *count == 0 { 0 } else { sum_ns / count };
+                format!(
+                    "n={count} mean={} max={}",
+                    fmt_duration(mean),
+                    fmt_duration(*max_ns)
+                )
+            }
+        };
+        rows.push((name, value));
+    }
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, value) in rows {
+        let _ = writeln!(out, "{name:width$}  {value}");
+    }
+    out
+}
+
+/// Per-stage aggregate over span events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Stage name.
+    pub name: &'static str,
+    /// Completed spans.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Largest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Mean duration, zero when empty.
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Aggregate events by span name, ordered by each name's earliest
+/// start (so a pipeline report reads in execution order).
+pub fn aggregate_spans(events: &[SpanEvent]) -> Vec<SpanStat> {
+    let mut order: Vec<(&'static str, u64)> = Vec::new();
+    let mut stats: std::collections::HashMap<&'static str, SpanStat> =
+        std::collections::HashMap::new();
+    for e in events {
+        let st = stats.entry(e.name).or_insert_with(|| {
+            order.push((e.name, e.start_ns));
+            SpanStat {
+                name: e.name,
+                count: 0,
+                total_ns: 0,
+                max_ns: 0,
+            }
+        });
+        st.count += 1;
+        st.total_ns += e.dur_ns;
+        st.max_ns = st.max_ns.max(e.dur_ns);
+        if let Some(slot) = order.iter_mut().find(|(n, _)| *n == e.name) {
+            slot.1 = slot.1.min(e.start_ns);
+        }
+    }
+    order.sort_by_key(|&(_, start)| start);
+    order
+        .into_iter()
+        .map(|(n, _)| stats.remove(n).expect("aggregated"))
+        .collect()
+}
+
+/// Render aggregated span stats as an aligned stage table.
+pub fn span_table(stats: &[SpanStat]) -> String {
+    let width = stats
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(0)
+        .max("stage".len());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:width$}  {:>6}  {:>12}  {:>12}  {:>12}",
+        "stage", "count", "total", "mean", "max"
+    );
+    for s in stats {
+        let _ = writeln!(
+            out,
+            "{:width$}  {:>6}  {:>12}  {:>12}  {:>12}",
+            s.name,
+            s.count,
+            fmt_duration(s.total_ns),
+            fmt_duration(s.mean_ns()),
+            fmt_duration(s.max_ns)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prom_escaping() {
+        assert_eq!(prom_escape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn format_us_trims_zeros() {
+        assert_eq!(format_us(1_500), "1.5");
+        assert_eq!(format_us(2_000), "2");
+        assert_eq!(format_us(1), "0.001");
+        assert_eq!(format_us(0), "0");
+    }
+
+    #[test]
+    fn aggregate_orders_by_first_start() {
+        let ev = |name: &'static str, start_ns: u64, dur_ns: u64| SpanEvent {
+            name,
+            start_ns,
+            dur_ns,
+            depth: 0,
+            thread: 0,
+            fields: Vec::new(),
+        };
+        let stats = aggregate_spans(&[
+            ev("generate", 50, 10),
+            ev("parse", 10, 5),
+            ev("generate", 70, 30),
+            ev("parse", 5, 7),
+        ]);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "parse");
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[0].total_ns, 12);
+        assert_eq!(stats[1].name, "generate");
+        assert_eq!(stats[1].max_ns, 30);
+        assert_eq!(stats[1].mean_ns(), 20);
+        let rendered = span_table(&stats);
+        assert!(rendered.contains("stage"));
+        assert!(rendered.contains("parse"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Workspace-wide observability: metrics, span tracing, exporters.
+//!
+//! The paper's whole argument is quantitative — partial bitstreams are
+//! about a third the size of complete ones and proportionally faster to
+//! generate and download (PAPER.md §4.1, Figure 4) — so the pipeline
+//! needs a first-class way to account for where bytes and time go.
+//! This crate is that substrate:
+//!
+//! * [`metrics`] — lock-free [`Counter`]/[`Gauge`]/[`Histogram`]
+//!   instruments (promoted from `fleet::metrics`, with configurable
+//!   histogram buckets and a zero-saturating gauge);
+//! * [`registry`] — named, labeled instruments in a [`Registry`]
+//!   (process-global via [`global`], or per-component) with
+//!   deterministic [`Snapshot`]s;
+//! * [`span`] — `obs::span!("stage")` RAII stage timers recording into
+//!   bounded per-thread ring buffers with a pluggable [`Collector`];
+//!   simulated durations (SelectMAP port time) enter via
+//!   [`record_duration`];
+//! * [`export`] — Prometheus text, JSON snapshot, JSONL span events,
+//!   and table renderers, all golden-test stable.
+//!
+//! Span recording can be disabled at runtime ([`set_enabled`]) or
+//! compiled out entirely with the `obs-off` cargo feature; metric
+//! instruments stay live either way.
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use export::{
+    aggregate_spans, jsonl_spans, prometheus, snapshot_json, span_table, table, SpanStat,
+};
+pub use metrics::{presets, Counter, Gauge, Histogram};
+pub use registry::{global, Registry, Sample, Snapshot, Value};
+pub use span::{
+    enabled, record_duration, record_duration_with, set_collector, set_enabled, take_thread_spans,
+    Collector, Span, SpanEvent, VecCollector, RING_CAPACITY,
+};

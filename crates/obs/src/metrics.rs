@@ -1,0 +1,307 @@
+//! Lock-free metric instruments: counters, gauges and latency
+//! histograms.
+//!
+//! Everything here records with `Ordering::Relaxed` atomics: workers
+//! update on serving and generation paths, and exactness across a data
+//! race is irrelevant for operational metrics. Histogram samples are
+//! `Duration`s — simulated SelectMAP port time where a timing model
+//! applies (the `fleet`/`simboard` latencies), wall-clock elsewhere.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge with a high-water mark (e.g. queue depth).
+///
+/// `dec` saturates at zero: a worker error path that releases a slot it
+/// never claimed must not drive the level negative (a negative queue
+/// depth is always a reporting bug, never a real state).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicI64,
+    high: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Raise the gauge by one, updating the high-water mark.
+    pub fn inc(&self) {
+        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lower the gauge by one, saturating at zero.
+    pub fn dec(&self) {
+        let mut cur = self.current.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.current.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current level.
+    pub fn current(&self) -> i64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Highest level seen.
+    pub fn high_water(&self) -> i64 {
+        self.high.load(Ordering::Relaxed)
+    }
+}
+
+/// Preset bucket boundaries, all in microseconds.
+pub mod presets {
+    /// SelectMAP download/readback latency buckets. Downloads on the
+    /// 50 MHz byte-wide port range from a few µs (a one-column partial)
+    /// to a few ms (a complete bitstream), so log-ish buckets over
+    /// 1 µs – 5 ms cover a serving fleet; the implicit overflow bucket
+    /// takes the rest. These are the boundaries `fleet::metrics` has
+    /// always used.
+    pub const SELECTMAP_LATENCY_US: [u64; 12] =
+        [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
+
+    /// Wall-clock buckets for CAD/generation stages: 10 µs – 1 s.
+    pub const STAGE_WALL_US: [u64; 10] = [
+        10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000,
+    ];
+}
+
+/// A fixed-bucket latency histogram with configurable boundaries.
+///
+/// Bucket boundaries are upper bounds in microseconds, strictly
+/// increasing; a final implicit overflow bucket takes samples above the
+/// last boundary. [`Histogram::default`] keeps the boundaries the fleet
+/// service has always used ([`presets::SELECTMAP_LATENCY_US`]).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds_us: Box<[u64]>,
+    buckets: Box<[Counter]>,
+    count: Counter,
+    sum_ns: Counter,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new(&presets::SELECTMAP_LATENCY_US)
+    }
+}
+
+impl Histogram {
+    /// A histogram over the given bucket upper bounds (microseconds,
+    /// strictly increasing, at least one).
+    pub fn new(bounds_us: &[u64]) -> Histogram {
+        assert!(!bounds_us.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds_us.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds_us: bounds_us.into(),
+            buckets: bounds_us
+                .iter()
+                .map(|_| Counter::new())
+                .chain([Counter::new()])
+                .collect(),
+            count: Counter::new(),
+            sum_ns: Counter::new(),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured bucket upper bounds, in microseconds.
+    pub fn bounds_us(&self) -> &[u64] {
+        &self.bounds_us
+    }
+
+    /// Per-bucket sample counts (non-cumulative), the overflow bucket
+    /// last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(Counter::get).collect()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros() as u64;
+        let idx = self
+            .bounds_us
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(self.bounds_us.len());
+        self.buckets[idx].inc();
+        self.count.inc();
+        self.sum_ns.add(d.as_nanos() as u64);
+        self.max_ns
+            .fetch_max(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Sum of all samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.get()
+    }
+
+    /// Mean sample, zero when empty.
+    pub fn mean(&self) -> Duration {
+        match self.count() {
+            0 => Duration::ZERO,
+            n => Duration::from_nanos(self.sum_ns.get() / n),
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile (0 < p ≤ 1);
+    /// the overflow bucket reports the observed maximum.
+    pub fn quantile(&self, p: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((total as f64) * p).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.get();
+            if seen >= target {
+                return match self.bounds_us.get(i) {
+                    Some(&us) => Duration::from_micros(us),
+                    None => self.max(),
+                };
+            }
+        }
+        self.max()
+    }
+
+    /// One-line summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:?} p50={:?} p99={:?} max={:?}",
+            self.count(),
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        g.inc();
+        assert_eq!(g.current(), 2);
+        assert_eq!(g.high_water(), 2);
+    }
+
+    #[test]
+    fn gauge_dec_saturates_at_zero() {
+        // Regression: an unmatched dec (worker error path) used to drive
+        // the level negative; it must clamp at zero and stay consistent
+        // with later traffic.
+        let g = Gauge::new();
+        g.dec();
+        g.dec();
+        assert_eq!(g.current(), 0);
+        g.inc();
+        g.dec();
+        g.dec();
+        assert_eq!(g.current(), 0);
+        g.inc();
+        assert_eq!(g.current(), 1);
+        assert_eq!(g.high_water(), 1);
+    }
+
+    #[test]
+    fn histogram_default_buckets_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        for us in [1u64, 3, 9, 30, 90, 300, 900, 3000, 9000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), Duration::from_micros(9000));
+        // The median sample (90 µs) lands in the ≤100 µs bucket.
+        assert_eq!(h.quantile(0.5), Duration::from_micros(100));
+        // The top quantile falls in the overflow bucket → observed max.
+        assert_eq!(h.quantile(1.0), Duration::from_micros(9000));
+        assert!(h.mean() > Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn histogram_custom_buckets() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(50));
+        h.record(Duration::from_micros(500));
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1]);
+        assert_eq!(h.bounds_us(), &[10, 100]);
+        assert_eq!(h.quantile(0.3), Duration::from_micros(10));
+        assert_eq!(h.quantile(0.6), Duration::from_micros(100));
+        assert_eq!(h.quantile(1.0), Duration::from_micros(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+}

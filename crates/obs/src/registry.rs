@@ -1,0 +1,343 @@
+//! Named, labeled instruments in a global-or-injected registry.
+//!
+//! A [`Registry`] is a thread-safe map from `(name, labels)` to a shared
+//! instrument. Call sites get-or-register an instrument and hold the
+//! returned `Arc` handle; the registry only sits on the path once per
+//! handle (or once per dynamic-label lookup), never per sample. The
+//! process-wide registry behind [`crate::global`] serves the pipeline
+//! crates; components that want isolated instrumentation (one registry
+//! per `fleet::Fleet`) construct their own.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Canonical key: metric name plus label pairs sorted by label name.
+type Key = (String, Vec<(String, String)>);
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+/// A registered instrument.
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A thread-safe collection of named, labeled instruments.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<HashMap<Key, Instrument>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        wrap: impl Fn(&Instrument) -> Option<Arc<T>>,
+        make: impl FnOnce() -> Instrument,
+    ) -> Arc<T> {
+        let k = key(name, labels);
+        if let Some(i) = self.inner.read().expect("registry lock").get(&k) {
+            return wrap(i)
+                .unwrap_or_else(|| panic!("metric {name:?} already registered as a {}", i.kind()));
+        }
+        let mut map = self.inner.write().expect("registry lock");
+        let i = map.entry(k).or_insert_with(make);
+        wrap(i).unwrap_or_else(|| panic!("metric {name:?} already registered as a {}", i.kind()))
+    }
+
+    /// Get or register a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || Instrument::Counter(Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or register a histogram with the default
+    /// ([`crate::presets::SELECTMAP_LATENCY_US`]) buckets.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || Instrument::Histogram(Arc::new(Histogram::default())),
+        )
+    }
+
+    /// Get or register a histogram with explicit bucket bounds
+    /// (microseconds, strictly increasing). An existing registration
+    /// keeps its original buckets.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds_us: &[u64],
+    ) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || Instrument::Histogram(Arc::new(Histogram::new(bounds_us))),
+        )
+    }
+
+    /// Number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("registry lock").len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every instrument's state, sorted by
+    /// `(name, labels)` so every export is deterministic.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.read().expect("registry lock");
+        let mut samples: Vec<Sample> = map
+            .iter()
+            .map(|((name, labels), inst)| Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match inst {
+                    Instrument::Counter(c) => Value::Counter(c.get()),
+                    Instrument::Gauge(g) => Value::Gauge {
+                        current: g.current(),
+                        high_water: g.high_water(),
+                    },
+                    Instrument::Histogram(h) => Value::Histogram {
+                        bounds_us: h.bounds_us().to_vec(),
+                        buckets: h.bucket_counts(),
+                        count: h.count(),
+                        sum_ns: h.sum_ns(),
+                        max_ns: h.max().as_nanos() as u64,
+                    },
+                },
+            })
+            .collect();
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Snapshot { samples }
+    }
+}
+
+/// One instrument's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+    /// The recorded value.
+    pub value: Value,
+}
+
+/// The value side of a [`Sample`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level and high-water mark.
+    Gauge {
+        /// Current level.
+        current: i64,
+        /// Highest level seen.
+        high_water: i64,
+    },
+    /// Histogram state.
+    Histogram {
+        /// Bucket upper bounds (µs), overflow excluded.
+        bounds_us: Vec<u64>,
+        /// Per-bucket counts (non-cumulative), overflow last — one
+        /// longer than `bounds_us`.
+        buckets: Vec<u64>,
+        /// Total samples.
+        count: u64,
+        /// Sum of samples in nanoseconds.
+        sum_ns: u64,
+        /// Largest sample in nanoseconds.
+        max_ns: u64,
+    },
+}
+
+/// A sorted, point-in-time view of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// All samples, sorted by `(name, labels)`.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// Whether any sample carries `name` (labels ignored).
+    pub fn has_metric(&self, name: &str) -> bool {
+        self.samples.iter().any(|s| s.name == name)
+    }
+
+    /// The counter total for `name`, summed across label sets; `None`
+    /// when no counter sample carries the name.
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        let mut found = None;
+        for s in &self.samples {
+            if s.name == name {
+                if let Value::Counter(v) = s.value {
+                    *found.get_or_insert(0) += v;
+                }
+            }
+        }
+        found
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry the pipeline crates record into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Get-or-register a counter on the [`global`] registry, caching the
+/// handle in a per-call-site static so the registry lock is taken once,
+/// not per sample. Labels must be constant at the call site; for
+/// dynamic labels call [`global`]`().counter(...)` directly.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr $(, $lk:expr => $lv:expr)* $(,)?) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().counter($name, &[$(($lk, $lv)),*]))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("hits_total", &[]);
+        let b = r.counter("hits_total", &[]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn labels_distinguish_and_sort() {
+        let r = Registry::new();
+        r.counter("errs_total", &[("kind", "crc")]).inc();
+        r.counter("errs_total", &[("kind", "sync")]).add(2);
+        // Label order at the call site does not matter.
+        let same = r.counter("multi", &[("b", "2"), ("a", "1")]);
+        let also = r.counter("multi", &[("a", "1"), ("b", "2")]);
+        same.inc();
+        assert_eq!(also.get(), 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_total("errs_total"), Some(3));
+        assert!(snap.has_metric("multi"));
+        assert!(!snap.has_metric("absent"));
+        assert_eq!(snap.counter_total("absent"), None);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b_total", &[]).inc();
+        r.gauge("a_depth", &[]).inc();
+        r.histogram("c_latency_us", &[])
+            .record(std::time::Duration::from_micros(3));
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a_depth", "b_total", "c_latency_us"]);
+        match &snap.samples[2].value {
+            Value::Histogram {
+                bounds_us,
+                buckets,
+                count,
+                ..
+            } => {
+                assert_eq!(buckets.len(), bounds_us.len() + 1);
+                assert_eq!(*count, 1);
+            }
+            v => panic!("expected histogram, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn histogram_with_keeps_first_buckets() {
+        let r = Registry::new();
+        let h = r.histogram_with("lat_us", &[], &[10, 20]);
+        let again = r.histogram_with("lat_us", &[], &[1, 2, 3]);
+        assert_eq!(h.bounds_us(), again.bounds_us());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x", &[]);
+        r.gauge("x", &[]);
+    }
+
+    #[test]
+    fn counter_macro_hits_global() {
+        let before = global().counter("obs_macro_test_total", &[]).get();
+        counter!("obs_macro_test_total").inc();
+        counter!("obs_macro_test_total").inc();
+        assert_eq!(
+            global().counter("obs_macro_test_total", &[]).get(),
+            before + 2
+        );
+    }
+}

@@ -107,6 +107,11 @@ impl SelectMap {
     pub fn load(&mut self, bs: &Bitstream) -> Result<(), ConfigError> {
         self.bytes_loaded += bs.byte_len() as u64;
         self.downloads += 1;
+        obs::counter!("simboard_downloads_total").inc();
+        obs::counter!("simboard_download_bytes_total").add(bs.byte_len() as u64);
+        // The port's time is simulated (byte-per-CCLK), so the download
+        // "span" carries the model's duration, not wall-clock.
+        obs::record_duration("download", download_time(bs.byte_len()));
         let draw = match &mut self.fault {
             Some(f) => {
                 let rate = f.rate;
@@ -123,6 +128,15 @@ impl SelectMap {
             }
             None => FaultDraw::Clean,
         };
+        match draw {
+            FaultDraw::Clean => {}
+            FaultDraw::Drop => {
+                obs::counter!("simboard_faults_injected_total", "kind" => "drop").inc();
+            }
+            FaultDraw::Corrupt => {
+                obs::counter!("simboard_faults_injected_total", "kind" => "corrupt").inc();
+            }
+        }
         match draw {
             FaultDraw::Clean => self.interp.feed(bs),
             FaultDraw::Drop => Err(ConfigError::TransferFault),

@@ -191,6 +191,21 @@ fn parse_tile(lex: &Lexer, w: &str) -> Result<TileCoord, ParseError> {
 
 /// Parse XDL text into a design database.
 pub fn parse(text: &str) -> Result<Design, ParseError> {
+    match parse_inner(text) {
+        Ok(design) => {
+            obs::counter!("xdl_lines_parsed_total").add(text.lines().count() as u64);
+            obs::counter!("xdl_records_parsed_total")
+                .add((design.instances.len() + design.nets.len()) as u64);
+            Ok(design)
+        }
+        Err(e) => {
+            obs::counter!("xdl_parse_errors_total").inc();
+            Err(e)
+        }
+    }
+}
+
+fn parse_inner(text: &str) -> Result<Design, ParseError> {
     let mut lex = Lexer::new(text)?;
 
     // design "name" DEVICE [version] ;
