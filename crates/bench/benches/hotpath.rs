@@ -1,0 +1,75 @@
+//! **E13**: the hot-path overhaul, measured on the Figure-4 library
+//! build (1 complete + 10 partials, three regions on an XCV100).
+//!
+//! Serial reference (one variant at a time, region by region) vs the
+//! cross-variant pipelined engine — identical outputs (asserted before
+//! timing), wall-clock medians over several runs. The headline numbers
+//! land in `BENCH_hotpath.json` at the repo root, consumed by
+//! EXPERIMENTS.md E13 and guarded in CI by the `perf_smoke` binary.
+
+use bench::hotpath::{
+    interleaved_medians, pipelined_library, serial_library, today_utc, verify_identical,
+};
+use bench::{fig4_base, fig4_regions, header, row};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+
+const RUNS: usize = 7;
+
+fn bench(c: &mut Criterion) {
+    let base = fig4_base();
+    let regions = fig4_regions();
+    verify_identical(&base, &regions);
+
+    let (t_serial, t_pipe) = interleaved_medians(
+        RUNS,
+        || serial_library(&base, &regions),
+        || pipelined_library(&base, &regions),
+    );
+    let speedup = t_serial.as_secs_f64() / t_pipe.as_secs_f64();
+    let partials = regions.iter().map(|r| r.variants.len()).sum::<usize>();
+    let throughput = partials as f64 / t_pipe.as_secs_f64();
+
+    header(&["flow", "median wall-clock", "partials/s"]);
+    row(&[
+        "serial (one variant at a time)".into(),
+        format!("{t_serial:?}"),
+        format!("{:.2}", partials as f64 / t_serial.as_secs_f64()),
+    ]);
+    row(&[
+        "pipelined (cross-variant)".into(),
+        format!("{t_pipe:?}"),
+        format!("{throughput:.2}"),
+    ]);
+    println!(
+        "speedup: {speedup:.2}x on {} worker(s), outputs byte-identical",
+        rayon::current_num_threads()
+    );
+
+    let json = format!(
+        "{{\"bench\":\"fig4_library_build\",\"date\":\"{}\",\"runs\":{RUNS},\
+         \"workers\":{},\"partials\":{partials},\
+         \"serial_median_ns\":{},\"pipelined_median_ns\":{},\
+         \"speedup\":{speedup:.3},\"pipelined_partials_per_s\":{throughput:.3}}}\n",
+        today_utc(),
+        rayon::current_num_threads(),
+        t_serial.as_nanos(),
+        t_pipe.as_nanos(),
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json");
+    std::fs::write(&path, json).expect("write BENCH_hotpath.json");
+    println!("wrote {}", path.display());
+
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10);
+    g.bench_function("library_serial", |b| {
+        b.iter(|| serial_library(&base, &regions))
+    });
+    g.bench_function("library_pipelined", |b| {
+        b.iter(|| pipelined_library(&base, &regions))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! **E13** shared machinery: the Figure-4 library build, serial
+//! reference vs the cross-variant pipelined engine (`hotpath.rs` bench
+//! and the `perf_smoke` CI binary both drive it).
+//!
+//! The serial reference is the pre-pipeline flow — one variant at a
+//! time, implement → translate → generate, region by region. The
+//! pipelined flow hands the same catalogue to
+//! [`jpg::workflow::build_library_pipelined`], which fans every
+//! (region, variant) job across workers with per-variant seeds matched
+//! to the serial builder — so the two must be **byte-identical**, and
+//! [`verify_identical`] asserts it before anything is timed.
+
+use baselines::fullflow::RegionSpec;
+use bitstream::Bitstream;
+use jpg::workflow::{
+    build_library_pipelined, implement_variant, module_constraints, BaseDesign, RegionCatalogue,
+};
+use jpg::JpgProject;
+use std::time::{Duration, Instant};
+
+/// Seed for the library build (matches the per-variant derivation used
+/// by `build_variant_library`: `seed ^ (index << 8)`).
+pub const SEED: u64 = 11;
+
+/// One variant at a time, region by region — no overlap anywhere.
+pub fn serial_library(base: &BaseDesign, regions: &[RegionSpec]) -> Vec<Bitstream> {
+    let project = JpgProject::from_memory("library", base.memory.clone());
+    let mut out = Vec::new();
+    for r in regions {
+        let cons = module_constraints(&r.prefix, r.region);
+        for (i, nl) in r.variants.iter().enumerate() {
+            let v = implement_variant(base, &r.prefix, nl, SEED ^ ((i as u64) << 8))
+                .expect("variant implements");
+            let partial = project
+                .generate_partial_from(&v.design, &cons)
+                .expect("partial generates");
+            out.push(partial.bitstream);
+        }
+    }
+    out
+}
+
+/// The whole catalogue through the pipelined engine.
+pub fn pipelined_library(base: &BaseDesign, regions: &[RegionSpec]) -> Vec<Bitstream> {
+    let catalogues: Vec<RegionCatalogue<'_>> = regions
+        .iter()
+        .map(|r| RegionCatalogue {
+            prefix: &r.prefix,
+            variants: &r.variants,
+        })
+        .collect();
+    build_library_pipelined(base, &catalogues, SEED, false)
+        .expect("pipelined library builds")
+        .into_iter()
+        .map(|(_, _, p)| p.bitstream)
+        .collect()
+}
+
+/// Byte-compare the two flows' outputs; panics on any divergence.
+pub fn verify_identical(base: &BaseDesign, regions: &[RegionSpec]) {
+    let serial = serial_library(base, regions);
+    let pipelined = pipelined_library(base, regions);
+    assert_eq!(serial.len(), pipelined.len());
+    for (i, (s, p)) in serial.iter().zip(&pipelined).enumerate() {
+        assert_eq!(
+            s.to_bytes(),
+            p.to_bytes(),
+            "serial and pipelined partial {i} diverge"
+        );
+    }
+}
+
+/// Median wall-clock of `runs` calls to `f` (lower median).
+pub fn median_time<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[(times.len() - 1) / 2]
+}
+
+/// A/B medians with **interleaved** runs (one warm-up each, then
+/// alternating timed pairs) — host-load drift during the measurement
+/// window biases both flows equally instead of whichever ran last.
+pub fn interleaved_medians<RA, RB>(
+    runs: usize,
+    mut a: impl FnMut() -> RA,
+    mut b: impl FnMut() -> RB,
+) -> (Duration, Duration) {
+    std::hint::black_box(a());
+    std::hint::black_box(b());
+    let mut ta = Vec::with_capacity(runs);
+    let mut tb = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        std::hint::black_box(a());
+        ta.push(t0.elapsed());
+        let t0 = Instant::now();
+        std::hint::black_box(b());
+        tb.push(t0.elapsed());
+    }
+    ta.sort_unstable();
+    tb.sort_unstable();
+    (ta[(runs - 1) / 2], tb[(runs - 1) / 2])
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days; no clock crate).
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("post-epoch clock")
+        .as_secs();
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

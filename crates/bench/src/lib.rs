@@ -11,6 +11,8 @@ use jpg::workflow::{build_base, BaseDesign, ModuleSpec};
 use virtex::Device;
 use xdl::Rect;
 
+pub mod hotpath;
+
 /// The Figure-4 partitioning: three full-height regions with 3, 3 and 4
 /// interchangeable modules on an XCV100.
 pub fn fig4_regions() -> Vec<RegionSpec> {

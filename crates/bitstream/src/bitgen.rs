@@ -75,26 +75,58 @@ pub fn coalesce_frames(frames: Vec<usize>) -> Vec<FrameRange> {
 /// that trade is a net win (in both bytes and CRC work) on every Virtex
 /// geometry, so incremental generators pass `max_gap = 1`.
 pub fn coalesce_frames_bridged(mut frames: Vec<usize>, max_gap: usize) -> Vec<FrameRange> {
+    let mut out = Vec::new();
+    coalesce_frames_bridged_into(&mut frames, max_gap, &mut out);
+    out
+}
+
+/// [`coalesce_frames_bridged`] into caller-owned buffers: `frames` is
+/// sorted and deduplicated in place, `out` is cleared and refilled.
+/// Allocation-free once both vectors have grown to their working size.
+pub fn coalesce_frames_bridged_into(
+    frames: &mut Vec<usize>,
+    max_gap: usize,
+    out: &mut Vec<FrameRange>,
+) {
     frames.sort_unstable();
     frames.dedup();
-    let mut out: Vec<FrameRange> = Vec::new();
-    for f in frames {
+    out.clear();
+    for &f in frames.iter() {
         match out.last_mut() {
             Some(r) if f - (r.start + r.len) <= max_gap => r.len = f - r.start + 1,
             _ => out.push(FrameRange::new(f, 1)),
         }
     }
-    out
 }
 
 fn frame_payload(mem: &ConfigMemory, range: FrameRange) -> Vec<u32> {
     let fw = mem.frame_words();
     let mut data = Vec::with_capacity((range.len + 1) * fw);
-    for f in range.frames() {
-        data.extend_from_slice(mem.frame(f));
-    }
+    data.extend_from_slice(mem.frame_span(range.start, range.len));
     data.extend(std::iter::repeat_n(0, fw)); // pipeline pad frame
     data
+}
+
+/// Reusable buffers for repeated partial generation: the writer's word
+/// buffer and one zeroed pad frame. Hand the finished [`Bitstream`] back
+/// through [`GenScratch::recycle`] and the next generation allocates
+/// nothing once the buffers reach their working size.
+#[derive(Debug, Default)]
+pub struct GenScratch {
+    pad: Vec<u32>,
+    buf: Vec<u32>,
+}
+
+impl GenScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        GenScratch::default()
+    }
+
+    /// Reclaim a bitstream's word buffer for the next generation.
+    pub fn recycle(&mut self, bits: Bitstream) {
+        self.buf = bits.into_words();
+    }
 }
 
 fn far_word(geom: &ConfigGeometry, frame: usize) -> u32 {
@@ -141,8 +173,42 @@ pub fn full_bitstream(mem: &ConfigMemory) -> Bitstream {
 /// behaviour the paper relies on for dynamic updates.
 pub fn partial_bitstream(mem: &ConfigMemory, ranges: &[FrameRange]) -> Bitstream {
     let _g = obs::span!("bitgen_serial", "runs" => ranges.len());
+    let mut pad = Vec::new();
+    let bits = emit_partial_with(mem, ranges, Vec::new(), &mut pad);
+    record_emission(ranges, &bits);
+    bits
+}
+
+/// [`partial_bitstream`] on recycled buffers: byte-identical output,
+/// zero steady-state allocation. The caller owns the [`GenScratch`] and
+/// feeds the returned stream back via [`GenScratch::recycle`] once done
+/// with it.
+pub fn partial_bitstream_pooled(
+    mem: &ConfigMemory,
+    ranges: &[FrameRange],
+    scratch: &mut GenScratch,
+) -> Bitstream {
+    let _g = obs::span!("bitgen_pooled", "runs" => ranges.len());
+    let buf = std::mem::take(&mut scratch.buf);
+    let bits = emit_partial_with(mem, ranges, buf, &mut scratch.pad);
+    record_emission(ranges, &bits);
+    bits
+}
+
+/// The serial emitter body: one `FAR`/`WCFG`/`FDRI` run per range, with
+/// frame payloads taken straight out of the config-memory slab
+/// ([`ConfigMemory::frame_span`]) and a shared zeroed pad frame — no
+/// per-range payload staging.
+fn emit_partial_with(
+    mem: &ConfigMemory,
+    ranges: &[FrameRange],
+    buf: Vec<u32>,
+    pad: &mut Vec<u32>,
+) -> Bitstream {
     let geom = mem.geometry();
-    let mut w = BitstreamWriter::new();
+    pad.clear();
+    pad.resize(mem.frame_words(), 0); // pipeline pad frame
+    let mut w = BitstreamWriter::with_buffer(buf);
     w.sync()
         .command(Command::Rcrc)
         .reset_crc()
@@ -152,16 +218,16 @@ pub fn partial_bitstream(mem: &ConfigMemory, ranges: &[FrameRange]) -> Bitstream
         assert!(range.valid_for(geom), "frame range out of bounds");
         w.write_reg(Register::Far, &[far_word(geom, range.start)])
             .command(Command::Wcfg);
-        let payload = frame_payload(mem, *range);
-        w.write_reg_auto(Register::Fdri, &payload);
+        w.write_reg_slices(
+            Register::Fdri,
+            &[mem.frame_span(range.start, range.len), pad],
+        );
     }
     w.write_crc()
         .command(Command::Lfrm)
         .command(Command::Start)
         .command(Command::Desynch);
-    let bits = w.finish();
-    record_emission(ranges, &bits);
-    bits
+    w.finish()
 }
 
 /// Counters shared by the serial and sharded emitters: packet runs,
@@ -207,13 +273,9 @@ fn emit_range_section(mem: &ConfigMemory, range: FrameRange) -> RangeSection {
         words.push(Packet::write2(payload_len).encode());
     }
     let payload_at = words.len();
-    for f in range.frames() {
-        words.extend_from_slice(mem.frame(f));
-    }
+    words.extend_from_slice(mem.frame_span(range.start, range.len));
     words.extend(std::iter::repeat_n(0, fw)); // pipeline pad frame
-    for &w in &words[payload_at..] {
-        crc.update(Register::Fdri, w);
-    }
+    crc.update_slice(Register::Fdri, &words[payload_at..]);
 
     RangeSection {
         words,
@@ -374,6 +436,43 @@ mod tests {
         let serial = partial_bitstream(&mem, &ranges);
         let par = partial_bitstream_stitched(&mem, &ranges);
         assert_eq!(serial.to_bytes(), par.to_bytes());
+    }
+
+    #[test]
+    fn pooled_partial_is_byte_identical_and_reuses_buffers() {
+        let mut mem = ConfigMemory::new(Device::XCV100);
+        for f in [0, 9, 300, 301, 700] {
+            mem.frame_mut(f)[0] = 0xC0DE_0000 | f as u32;
+        }
+        let ranges = [
+            FrameRange::new(0, 2),
+            FrameRange::new(299, 4),
+            FrameRange::new(700, 1),
+        ];
+        let mut scratch = GenScratch::new();
+        let first = partial_bitstream_pooled(&mem, &ranges, &mut scratch);
+        assert_eq!(first, partial_bitstream(&mem, &ranges));
+        let words = first.into_words();
+        let cap = words.capacity();
+        scratch.recycle(Bitstream::from_words(words));
+        // Different content, same shape: second pass reuses the buffer
+        // and still matches the fresh serial generator.
+        mem.frame_mut(300)[1] = 0xFEED_F00D;
+        let second = partial_bitstream_pooled(&mem, &ranges, &mut scratch);
+        assert_eq!(second, partial_bitstream(&mem, &ranges));
+        assert!(second.into_words().capacity() >= cap);
+    }
+
+    #[test]
+    fn coalesce_into_reuses_buffers_and_matches_owned() {
+        let mut frames = vec![5, 3, 4, 4, 9, 10, 12];
+        let mut out = vec![FrameRange::new(0, 99)]; // stale content cleared
+        coalesce_frames_bridged_into(&mut frames, 0, &mut out);
+        assert_eq!(out, coalesce_frames(vec![5, 3, 4, 4, 9, 10, 12]));
+        frames.clear();
+        frames.extend([3, 4, 6, 9]);
+        coalesce_frames_bridged_into(&mut frames, 1, &mut out);
+        assert_eq!(out, coalesce_frames_bridged(vec![3, 4, 6, 9], 1));
     }
 
     #[test]

@@ -38,6 +38,67 @@ const fn build_table() -> [u16; 256] {
     t
 }
 
+/// Slicing-by-4 tables: `TABLES[k][b]` is the register after byte `b`
+/// has been fed and then shifted through `k` further zero bytes. One
+/// 32-bit data word becomes four independent lookups XOR'd together
+/// instead of a four-iteration dependency chain.
+const TABLES: [[u16; 256]; 4] = build_tables();
+
+const fn build_tables() -> [[u16; 256]; 4] {
+    let mut t = [[0u16; 256]; 4];
+    t[0] = TABLE;
+    let mut k = 1;
+    while k < 4 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ TABLE[(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+/// Nibble table for the 4 register-address bits fed after each word:
+/// `NIBBLE[n]` is the register after shifting 4 zero bits through a
+/// register whose low nibble was `n`.
+const NIBBLE: [u16; 16] = build_nibble();
+
+const fn build_nibble() -> [u16; 16] {
+    let mut t = [0u16; 16];
+    let mut i = 0usize;
+    while i < 16 {
+        let mut v = i as u16;
+        let mut b = 0;
+        while b < 4 {
+            v = if v & 1 != 0 { (v >> 1) ^ POLY } else { v >> 1 };
+            b += 1;
+        }
+        t[i] = v;
+        i += 1;
+    }
+    t
+}
+
+/// Feed one 32-bit word (LSB-first bytes) through the register in four
+/// table lookups. The 16-bit register only reaches the first two byte
+/// lanes; the later bytes enter as pure table terms (GF(2) linearity).
+#[inline]
+fn word_step(v: u16, word: u32) -> u16 {
+    let [b0, b1, b2, b3] = word.to_le_bytes();
+    TABLES[3][((v ^ b0 as u16) & 0xFF) as usize]
+        ^ TABLES[2][(((v >> 8) ^ b1 as u16) & 0xFF) as usize]
+        ^ TABLES[1][b2 as usize]
+        ^ TABLES[0][b3 as usize]
+}
+
+/// Feed the 4-bit register address (LSB first).
+#[inline]
+fn addr_step(v: u16, addr: u16) -> u16 {
+    (v >> 4) ^ NIBBLE[((v ^ addr) & 0xF) as usize]
+}
+
 /// A 16×16 GF(2) matrix: `m[i]` is the image of basis vector `1 << i`.
 type Matrix = [u16; 16];
 
@@ -126,6 +187,7 @@ impl Crc16 {
         self.value = 0;
     }
 
+    #[cfg(test)]
     fn feed_bit(&mut self, bit: bool) {
         let inv = (self.value & 1 != 0) ^ bit;
         self.value >>= 1;
@@ -148,17 +210,22 @@ impl Crc16 {
     }
 
     /// Accumulate one register write: 32 data bits (LSB first) then the
-    /// 4-bit register address. Table-driven over the data bytes.
+    /// 4-bit register address. Slicing-by-4 over the data bytes plus one
+    /// nibble lookup for the address.
     pub fn update(&mut self, reg: Register, word: u32) {
+        self.value = addr_step(word_step(self.value, word), reg.addr() as u16);
+    }
+
+    /// Accumulate a run of writes to the same register — the streaming
+    /// spelling of [`Self::update`] for multi-word payloads (FDRI frame
+    /// data), keeping the register value local across the whole slice.
+    pub fn update_slice(&mut self, reg: Register, words: &[u32]) {
+        let addr = reg.addr() as u16;
         let mut v = self.value;
-        for b in word.to_le_bytes() {
-            v = (v >> 8) ^ TABLE[((v ^ b as u16) & 0xFF) as usize];
+        for &w in words {
+            v = addr_step(word_step(v, w), addr);
         }
         self.value = v;
-        let addr = reg.addr() as u16;
-        for i in 0..4 {
-            self.feed_bit((addr >> i) & 1 == 1);
-        }
     }
 
     /// Append a section that was CRC'd independently from a zero register.
@@ -260,6 +327,25 @@ mod tests {
                 assert_eq!(fast.value(), slow.value(), "reg {reg:?} word {w:#010x}");
             }
         }
+    }
+
+    #[test]
+    fn update_slice_matches_per_word_updates() {
+        let words: Vec<u32> = (0..97)
+            .map(|i| (i as u32).wrapping_mul(0xB529_7A4D) ^ 0xAA99_5566)
+            .collect();
+        for reg in [Register::Fdri, Register::Far, Register::Cmd] {
+            let mut sliced = Crc16::from_value(0x1D0F);
+            sliced.update_slice(reg, &words);
+            let mut serial = Crc16::from_value(0x1D0F);
+            for &w in &words {
+                serial.update(reg, w);
+            }
+            assert_eq!(sliced.value(), serial.value(), "reg {reg:?}");
+        }
+        let mut empty = Crc16::from_value(0xABCD);
+        empty.update_slice(Register::Fdri, &[]);
+        assert_eq!(empty.value(), 0xABCD, "empty slice is the identity");
     }
 
     #[test]

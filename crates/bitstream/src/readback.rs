@@ -53,6 +53,20 @@ pub fn readback_frames(
     dev: &mut Interpreter,
     range: FrameRange,
 ) -> Result<Vec<Vec<u32>>, ConfigError> {
+    let fw = dev.memory().geometry().frame_words();
+    let mut flat = Vec::new();
+    readback_frames_into(dev, range, &mut flat)?;
+    Ok(flat.chunks_exact(fw).map(|c| c.to_vec()).collect())
+}
+
+/// [`readback_frames`], **appending** the frames flat (pad stripped)
+/// onto `out` — repeated region verifies can recycle one buffer instead
+/// of allocating per-frame vectors every pass.
+pub fn readback_frames_into(
+    dev: &mut Interpreter,
+    range: FrameRange,
+    out: &mut Vec<u32>,
+) -> Result<(), ConfigError> {
     let geom = dev.memory().geometry().clone();
     let req = readback_request(&geom, range);
     // Words already sitting in the readback buffer belong to an earlier
@@ -70,7 +84,8 @@ pub fn readback_frames(
             got: raw.len(),
         });
     }
-    Ok(raw[fw..].chunks_exact(fw).map(|c| c.to_vec()).collect())
+    out.extend_from_slice(&raw[fw..]);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -55,6 +55,12 @@ impl Bitstream {
             .collect();
         Some(Bitstream { words })
     }
+
+    /// Take back the word buffer, e.g. to recycle its allocation through
+    /// [`BitstreamWriter::with_buffer`].
+    pub fn into_words(self) -> Vec<u32> {
+        self.words
+    }
 }
 
 /// Builds a packet stream with a correctly maintained running CRC, exactly
@@ -75,8 +81,16 @@ impl Default for BitstreamWriter {
 impl BitstreamWriter {
     /// Start an empty stream.
     pub fn new() -> Self {
+        Self::with_buffer(Vec::new())
+    }
+
+    /// Start an empty stream on a recycled word buffer (cleared, capacity
+    /// kept) — the steady-state-allocation-free entry point for repeated
+    /// generation.
+    pub fn with_buffer(mut words: Vec<u32>) -> Self {
+        words.clear();
         BitstreamWriter {
-            words: Vec::new(),
+            words,
             crc: Crc16::new(),
             synced: false,
         }
@@ -92,11 +106,9 @@ impl BitstreamWriter {
     }
 
     fn push_payload(&mut self, reg: Register, data: &[u32]) {
-        for &w in data {
-            self.words.push(w);
-            if crc_covered(reg) {
-                self.crc.update(reg, w);
-            }
+        self.words.extend_from_slice(data);
+        if crc_covered(reg) {
+            self.crc.update_slice(reg, data);
         }
     }
 
@@ -126,6 +138,26 @@ impl BitstreamWriter {
         } else {
             self.write_reg_type2(reg, data)
         }
+    }
+
+    /// Write one payload assembled from several word slices — the
+    /// zero-copy spelling of [`Self::write_reg_auto`] for payloads that
+    /// live as a contiguous slab span plus a trailing pad frame. The
+    /// packet form is picked from the total length; the emitted words and
+    /// CRC are identical to concatenating the chunks first.
+    pub fn write_reg_slices(&mut self, reg: Register, chunks: &[&[u32]]) -> &mut Self {
+        assert!(self.synced, "write before sync");
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        if total <= TYPE1_MAX_COUNT {
+            self.words.push(Packet::write1(reg, total).encode());
+        } else {
+            self.words.push(Packet::write1(reg, 0).encode());
+            self.words.push(Packet::write2(total).encode());
+        }
+        for chunk in chunks {
+            self.push_payload(reg, chunk);
+        }
+        self
     }
 
     /// Write a command to `CMD`.
@@ -215,6 +247,45 @@ mod tests {
             Packet::write2(big.len())
         );
         assert_eq!(bs.word_len(), 4 + big.len());
+    }
+
+    #[test]
+    fn write_reg_slices_matches_contiguous_payload() {
+        let data: Vec<u32> = (0..TYPE1_MAX_COUNT as u32 + 40)
+            .map(|i| i * 3 + 7)
+            .collect();
+        for cut in [0, 1, 17, data.len() - 1, data.len()] {
+            // Large payload split in two chunks vs one contiguous write.
+            let mut a = BitstreamWriter::new();
+            a.sync()
+                .write_reg_slices(Register::Fdri, &[&data[..cut], &data[cut..]]);
+            let mut b = BitstreamWriter::new();
+            b.sync().write_reg_auto(Register::Fdri, &data);
+            assert_eq!(a.crc_value(), b.crc_value(), "cut at {cut}");
+            assert_eq!(a.finish(), b.finish(), "cut at {cut}");
+        }
+        // Small total picks the type-1 form, like write_reg_auto.
+        let small = [1u32, 2, 3];
+        let mut a = BitstreamWriter::new();
+        a.sync()
+            .write_reg_slices(Register::Far, &[&small[..1], &small[1..]]);
+        let mut b = BitstreamWriter::new();
+        b.sync().write_reg_auto(Register::Far, &small);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn with_buffer_recycles_capacity_and_clears() {
+        let mut w = BitstreamWriter::new();
+        w.sync().write_reg(Register::Far, &[0xAB]);
+        let words = w.finish().into_words();
+        let cap = words.capacity();
+        assert!(!words.is_empty());
+        let mut w2 = BitstreamWriter::with_buffer(words);
+        w2.sync().command(Command::Rcrc);
+        let bs = w2.finish();
+        assert_eq!(bs.words()[0], DUMMY_WORD, "stale words cleared");
+        assert!(bs.into_words().capacity() >= cap.min(4));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! jpg-cli partial --base <base.bit> --xdl <mod.xdl> --ucf <mod.ucf>
 //!         --out <partial.bit> [--merge <updated-base.bit>] [--floorplan]
 //! jpg-cli report [--workload fig4|smoke] [--format table|json|prometheus|jsonl]
-//!         [--check-schema]
+//!         [--repeat N] [--check-schema]
 //! ```
 
 use bitstream::BitFile;
@@ -26,7 +26,7 @@ fn main() -> ExitCode {
                  --xdl <mod.xdl> --ucf <mod.ucf> --out <partial.bit> \
                  [--merge <updated.bit>] [--floorplan]\n  jpg-cli report \
                  [--workload fig4|smoke] [--format table|json|prometheus|jsonl] \
-                 [--check-schema]"
+                 [--repeat N] [--check-schema]"
             );
             ExitCode::from(2)
         }
@@ -160,7 +160,18 @@ fn report(args: &[String]) -> ExitCode {
         Some(f @ ("json" | "prometheus" | "jsonl")) => f,
         Some(f) => return fail(&format!("report: unknown format {f:?}")),
     };
-    let r = match jpg::report::run(workload) {
+    let repeats = match flags.get("repeat").map(String::as_str) {
+        None | Some("") => 1,
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return fail(&format!(
+                    "report: --repeat wants a positive integer, got {n:?}"
+                ))
+            }
+        },
+    };
+    let r = match jpg::report::run_repeated(workload, repeats) {
         Ok(r) => r,
         Err(e) => return fail(&format!("report: {e}")),
     };

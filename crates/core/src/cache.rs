@@ -1,19 +1,24 @@
-//! Content-hash frame cache for incremental partial-bitstream generation.
+//! Base-content frame cache for incremental partial-bitstream generation.
 //!
 //! When JPG batch-generates a library of variants against one base
 //! design, most frames of a stamped variant image are byte-identical to
 //! the base — the erased-and-rewritten columns carry the only changes,
-//! and even inside them many frames come out equal. The cache stores a
-//! 128-bit content hash per frame of the base, keyed by the frame's full
-//! address `(device, block, major, minor)`, so any worker can ask "does
-//! this frame still hold base content?" without touching the base image
-//! itself (one shared read-mostly map instead of per-variant full-memory
-//! diffs).
+//! and even inside them many frames come out equal. The cache owns a
+//! copy of the base content for the primed frames, keyed by the frame's
+//! full address `(device, block, major, minor)`, so any worker can ask
+//! "does this frame still hold base content?" without touching the base
+//! image itself (one shared read-mostly store instead of per-variant
+//! full-memory diffs).
 //!
-//! Hashes are FNV-1a/128. A collision would silently drop a changed
-//! frame from a partial; at 128 bits that is vanishingly unlikely, and
-//! the incremental generator cross-checks against a real content diff in
-//! debug builds (see `JpgProject::generate_partial_incremental`).
+//! Candidate frames are compared *directly* against the stored base
+//! content with `u64`-chunked word compares — an exact verdict that
+//! reads only the two frames involved. The FNV-1a/128 [`frame_hash`] is
+//! kept for hash-only entries ([`FrameCache::insert`]) and as the
+//! external fingerprint ([`FrameCache::get`]); primed frames never pay
+//! a hashing pass. Exactness also retires the (already vanishing)
+//! collision risk the hash-only design carried, though the incremental
+//! generator still cross-checks against a real content diff in debug
+//! builds (see `JpgProject::generate_partial_incremental`).
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -62,8 +67,6 @@ impl Hasher for KeyHasher {
     }
 }
 
-type KeyMap = HashMap<FrameKey, u128, BuildHasherDefault<KeyHasher>>;
-
 /// Cache key: one frame of one device, by full address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FrameKey {
@@ -97,10 +100,62 @@ pub fn frame_hash(words: &[u32]) -> u128 {
     h
 }
 
-/// A shared, thread-safe map from frame address to base-content hash.
+/// Branchless word-level frame equality: fold pairs of `u32` into `u64`
+/// lanes and accumulate the XOR of every lane — one compare at the end,
+/// no per-word branch, and a loop the compiler vectorizes freely.
+#[inline]
+fn frames_equal(a: &[u32], b: &[u32]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u64;
+    let mut ac = a.chunks_exact(2);
+    let mut bc = b.chunks_exact(2);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        let wa = (ca[0] as u64) | ((ca[1] as u64) << 32);
+        let wb = (cb[0] as u64) | ((cb[1] as u64) << 32);
+        acc |= wa ^ wb;
+    }
+    for (ra, rb) in ac.remainder().iter().zip(bc.remainder()) {
+        acc |= (ra ^ rb) as u64;
+    }
+    acc == 0
+}
+
+/// One cached frame: either a slot of base content in the store's slab
+/// (primed frames — compared directly) or a bare fingerprint
+/// ([`FrameCache::insert`] — compared by hash).
+#[derive(Debug, Clone, Copy)]
+enum Entry {
+    Content { offset: usize, len: usize },
+    Hash(u128),
+}
+
+/// The lock-protected interior: key index plus the content slab the
+/// `Content` entries point into.
+#[derive(Debug, Default)]
+struct BaseStore {
+    map: HashMap<FrameKey, Entry, BuildHasherDefault<KeyHasher>>,
+    slab: Vec<u32>,
+}
+
+impl BaseStore {
+    /// Whether `words` still holds the cached base content for `key`.
+    fn still_base(&self, key: &FrameKey, words: &[u32]) -> bool {
+        match self.map.get(key) {
+            Some(&Entry::Content { offset, len }) => {
+                frames_equal(&self.slab[offset..offset + len], words)
+            }
+            Some(&Entry::Hash(h)) => h == frame_hash(words),
+            None => false,
+        }
+    }
+}
+
+/// A shared, thread-safe map from frame address to base content.
 #[derive(Debug, Default)]
 pub struct FrameCache {
-    map: RwLock<KeyMap>,
+    store: RwLock<BaseStore>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -111,7 +166,7 @@ impl FrameCache {
         FrameCache::default()
     }
 
-    /// Hash every frame of `mem` into the cache — called once with the
+    /// Copy every frame of `mem` into the cache — called once with the
     /// base image before generating a variant library against it.
     pub fn prime(&self, mem: &ConfigMemory) {
         self.prime_frames(mem, 0..mem.frame_count());
@@ -124,55 +179,104 @@ impl FrameCache {
     /// gets emitted, so under-priming costs bytes, never correctness.
     pub fn prime_frames(&self, mem: &ConfigMemory, frames: impl IntoIterator<Item = usize>) {
         let frames = frames.into_iter();
-        let mut map = self.map.write().expect("cache lock");
+        let mut store = self.store.write().expect("cache lock");
+        let BaseStore { map, slab } = &mut *store;
         map.reserve(frames.size_hint().0);
         let mut primed = 0u64;
         for idx in frames {
-            map.insert(FrameKey::of(mem, idx), frame_hash(mem.frame(idx)));
+            let words = mem.frame(idx);
+            let key = FrameKey::of(mem, idx);
+            match map.get(&key) {
+                // Re-prime (new base epoch): overwrite the slot in place.
+                Some(&Entry::Content { offset, len }) if len == words.len() => {
+                    slab[offset..offset + len].copy_from_slice(words);
+                }
+                _ => {
+                    let offset = slab.len();
+                    slab.extend_from_slice(words);
+                    map.insert(
+                        key,
+                        Entry::Content {
+                            offset,
+                            len: words.len(),
+                        },
+                    );
+                }
+            }
             primed += 1;
         }
         obs::counter!("framecache_primed_total").add(primed);
     }
 
-    /// Record one frame's content hash.
+    /// Record one frame's content fingerprint. Hash-only entries are
+    /// compared by hash; priming the same key later upgrades it to
+    /// direct content comparison.
     pub fn insert(&self, key: FrameKey, hash: u128) {
-        self.map.write().expect("cache lock").insert(key, hash);
+        self.store
+            .write()
+            .expect("cache lock")
+            .map
+            .insert(key, Entry::Hash(hash));
     }
 
-    /// The cached hash for `key`, if any.
+    /// The cached fingerprint for `key`, if any (computed on demand for
+    /// content entries).
     pub fn get(&self, key: FrameKey) -> Option<u128> {
-        self.map.read().expect("cache lock").get(&key).copied()
-    }
-
-    /// Whether `words` hash-matches the cached entry for `key`. A match
-    /// counts as a hit (the frame can be skipped); a differing or absent
-    /// entry counts as a miss (the frame must be emitted).
-    pub fn matches(&self, key: FrameKey, words: &[u32]) -> bool {
-        let cached = self.get(key);
-        if cached == Some(frame_hash(words)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            obs::counter!("framecache_hits_total").inc();
-            true
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            obs::counter!("framecache_misses_total").inc();
-            false
+        let store = self.store.read().expect("cache lock");
+        match store.map.get(&key) {
+            Some(&Entry::Content { offset, len }) => {
+                Some(frame_hash(&store.slab[offset..offset + len]))
+            }
+            Some(&Entry::Hash(h)) => Some(h),
+            None => None,
         }
     }
 
+    /// Whether `words` matches the cached base content for `key`. A
+    /// match counts as a hit (the frame can be skipped); a differing or
+    /// absent entry counts as a miss (the frame must be emitted).
+    pub fn matches(&self, key: FrameKey, words: &[u32]) -> bool {
+        let hit = self
+            .store
+            .read()
+            .expect("cache lock")
+            .still_base(&key, words);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("framecache_hits_total").inc();
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("framecache_misses_total").inc();
+        }
+        hit
+    }
+
     /// Of `frames` (linear indices into `mem`), those whose content no
-    /// longer hash-matches the cached base entry — the frames a partial
-    /// must emit. One lock acquisition for the whole batch; hit/miss
-    /// counters update as in [`Self::matches`].
+    /// longer matches the cached base entry — the frames a partial must
+    /// emit. One lock acquisition for the whole batch; hit/miss counters
+    /// update as in [`Self::matches`].
     pub fn filter_changed(
         &self,
         mem: &ConfigMemory,
         frames: impl IntoIterator<Item = usize>,
     ) -> Vec<usize> {
-        let map = self.map.read().expect("cache lock");
+        let mut changed = Vec::new();
+        self.filter_changed_into(mem, frames, &mut changed);
+        changed
+    }
+
+    /// [`Self::filter_changed`] appending into a caller-owned vector —
+    /// the allocation-free spelling for generators that recycle their
+    /// scratch across variants.
+    pub fn filter_changed_into(
+        &self,
+        mem: &ConfigMemory,
+        frames: impl IntoIterator<Item = usize>,
+        changed: &mut Vec<usize>,
+    ) {
+        let store = self.store.read().expect("cache lock");
         let device = mem.device();
         let geom = mem.geometry();
-        let mut changed = Vec::new();
         let mut hits = 0usize;
         let mut total = 0usize;
         for f in frames {
@@ -181,7 +285,7 @@ impl FrameCache {
                 device,
                 far: geom.frame_address(f).expect("frame in range"),
             };
-            if map.get(&key).copied() == Some(frame_hash(mem.frame(f))) {
+            if store.still_base(&key, mem.frame(f)) {
                 hits += 1;
             } else {
                 changed.push(f);
@@ -191,12 +295,11 @@ impl FrameCache {
         self.misses.fetch_add(total - hits, Ordering::Relaxed);
         obs::counter!("framecache_hits_total").add(hits as u64);
         obs::counter!("framecache_misses_total").add((total - hits) as u64);
-        changed
     }
 
     /// Number of cached frames.
     pub fn len(&self) -> usize {
-        self.map.read().expect("cache lock").len()
+        self.store.read().expect("cache lock").map.len()
     }
 
     /// Whether the cache holds no frames.
@@ -230,6 +333,25 @@ mod tests {
     }
 
     #[test]
+    fn frames_equal_is_exact_at_every_lane() {
+        // Odd and even lengths, differences in low/high u64 halves and
+        // the odd tail word.
+        for len in [1usize, 2, 7, 12, 13] {
+            let a: Vec<u32> = (0..len as u32).map(|i| i.wrapping_mul(0x9E37)).collect();
+            assert!(frames_equal(&a, &a.clone()));
+            for flip in 0..len {
+                for bit in [0, 15, 31] {
+                    let mut b = a.clone();
+                    b[flip] ^= 1 << bit;
+                    assert!(!frames_equal(&a, &b), "len {len} word {flip} bit {bit}");
+                }
+            }
+        }
+        assert!(!frames_equal(&[0, 0], &[0]));
+        assert!(frames_equal(&[], &[]));
+    }
+
+    #[test]
     fn primed_cache_matches_base_and_flags_changes() {
         let mut mem = ConfigMemory::new(Device::XCV50);
         mem.set_bit(5, 17, true);
@@ -259,6 +381,20 @@ mod tests {
         assert_eq!(cache.filter_changed(&mem, [3, 7, 9, 11]), vec![7, 11]);
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn filter_changed_into_appends_to_reused_buffer() {
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        let cache = FrameCache::new();
+        cache.prime(&mem);
+        mem.set_bit(7, 0, true);
+        let mut out = vec![99];
+        cache.filter_changed_into(&mem, [3, 7], &mut out);
+        assert_eq!(out, vec![99, 7]);
+        out.clear();
+        cache.filter_changed_into(&mem, [3, 7], &mut out);
+        assert_eq!(out, cache.filter_changed(&mem, [3, 7]));
     }
 
     #[test]
@@ -303,6 +439,25 @@ mod tests {
     }
 
     #[test]
+    fn hash_only_entries_upgrade_on_prime() {
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        mem.set_bit(9, 1, true);
+        let cache = FrameCache::new();
+        let key = FrameKey::of(&mem, 9);
+
+        // A bare fingerprint matches by hash…
+        cache.insert(key, frame_hash(mem.frame(9)));
+        assert_eq!(cache.get(key), Some(frame_hash(mem.frame(9))));
+        assert!(cache.matches(key, mem.frame(9)));
+        // …and priming the key switches it to direct comparison with
+        // the same external fingerprint.
+        cache.prime_frames(&mem, [9]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(key), Some(frame_hash(mem.frame(9))));
+        assert!(cache.matches(key, mem.frame(9)));
+    }
+
+    #[test]
     fn dirtied_then_restored_frame_is_not_emitted() {
         let mut mem = ConfigMemory::new(Device::XCV50);
         mem.set_bit(6, 3, true);
@@ -310,8 +465,9 @@ mod tests {
         cache.prime(&mem);
 
         // Dirty the frame, then restore its base content: the dirty mark
-        // stays set (it is bookkeeping, not content), but the hash check
-        // sees base content and drops the frame from the emission set.
+        // stays set (it is bookkeeping, not content), but the content
+        // check sees base content and drops the frame from the emission
+        // set.
         mem.clear_dirty();
         mem.set_bit(6, 3, false);
         mem.set_bit(6, 3, true);

@@ -147,7 +147,12 @@ fn plan(workload: Workload) -> (Device, u64, Vec<RegionPlan>) {
 pub struct Report {
     /// Which workload ran.
     pub workload: Workload,
-    /// Per-stage aggregates, pipeline stages first.
+    /// Runs aggregated into the stage table (1 = single shot; see
+    /// [`run_repeated`]).
+    pub repeats: usize,
+    /// Per-stage aggregates, pipeline stages first. With repeats > 1,
+    /// `count`/`total_ns` are per-run medians and `max_ns` the overall
+    /// maximum.
     pub stages: Vec<obs::SpanStat>,
     /// Raw span events (for JSONL export).
     pub spans: Vec<obs::SpanEvent>,
@@ -181,6 +186,7 @@ pub fn run(workload: Workload) -> Result<Report, String> {
     });
     Ok(Report {
         workload,
+        repeats: 1,
         stages: stats,
         spans,
         snapshot: obs::global().snapshot(),
@@ -189,6 +195,46 @@ pub fn run(workload: Workload) -> Result<Report, String> {
         mean_partial_bytes: partial_bytes.checked_div(partials).unwrap_or(0),
         verify_failures,
     })
+}
+
+/// Run `workload` `repeats` times and report per-stage **medians** of
+/// the per-run totals (plus the overall per-stage maximum), damping
+/// single-shot scheduling noise. Spans and scalar counts come from the
+/// final run; the metric snapshot is the global registry after all
+/// runs, so counter totals accumulate across repeats.
+pub fn run_repeated(workload: Workload, repeats: usize) -> Result<Report, String> {
+    if repeats == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
+    let mut runs = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        runs.push(run(workload)?);
+    }
+    let mut report = runs.pop().expect("at least one run");
+    report.repeats = repeats;
+    if runs.is_empty() {
+        return Ok(report);
+    }
+    for stage in report.stages.iter_mut() {
+        let mut totals: Vec<u64> = vec![stage.total_ns];
+        let mut counts: Vec<u64> = vec![stage.count];
+        for prior in &runs {
+            if let Some(p) = prior.stages.iter().find(|s| s.name == stage.name) {
+                totals.push(p.total_ns);
+                counts.push(p.count);
+                stage.max_ns = stage.max_ns.max(p.max_ns);
+            }
+        }
+        stage.total_ns = median(&mut totals);
+        stage.count = median(&mut counts);
+    }
+    Ok(report)
+}
+
+/// Lower median (in place): the middle element after sorting.
+fn median(values: &mut [u64]) -> u64 {
+    values.sort_unstable();
+    values[(values.len() - 1) / 2]
 }
 
 fn run_traced(workload: Workload) -> Result<(usize, usize, usize, usize), String> {
@@ -232,60 +278,69 @@ fn run_traced(workload: Workload) -> Result<(usize, usize, usize, usize), String
     let mut partial_bytes = 0usize;
     let mut verify_failures = 0usize;
 
-    // Phase 2: re-implement every non-base variant, generate its partial
-    // two ways (incremental for the diff stage, wholesale for the
-    // download), push it to the board and verify the region.
-    for r in &regions {
-        for (vi, netlist) in r.variants.iter().enumerate().skip(1) {
-            let variant = implement_variant(&base, r.prefix, netlist, seed + vi as u64)
+    // Phase 2a (parallel): re-implement every non-base variant and
+    // generate its partial two ways — incremental for the diff stage
+    // (dirty-frame tracking + frame-cache compare; only valid over base
+    // content, so generated but not downloaded) and wholesale from the
+    // XDL/UCF text (the paper's JPG input path, safe over any variant).
+    // The CAD stages of different variants overlap across worker
+    // threads; spans land in the shared collector regardless of thread.
+    use rayon::prelude::*;
+    let jobs: Vec<(&RegionPlan, usize)> = regions
+        .iter()
+        .flat_map(|r| (1..r.variants.len()).map(move |vi| (r, vi)))
+        .collect();
+    let generated: Vec<crate::project::PartialResult> = jobs
+        .par_iter()
+        .map(|&(r, vi)| {
+            let variant = implement_variant(&base, r.prefix, &r.variants[vi], seed + vi as u64)
                 .map_err(|e| e.to_string())?;
-
-            // Incremental partial: exercises the diff stage (dirty-frame
-            // tracking + frame-cache hash compare). Only valid over base
-            // content, so it is generated but not downloaded here.
             let constraints = Constraints::parse(&variant.ucf).map_err(|e| e.to_string())?;
             let _incremental = project
                 .generate_partial_incremental(&variant.design, &constraints, &cache)
                 .map_err(|e| e.to_string())?;
-
-            // Wholesale partial from the XDL/UCF text — the paper's JPG
-            // input path; covers whole columns, safe over any variant.
-            let partial = project
+            project
                 .generate_partial(&variant.xdl, &variant.ucf)
-                .map_err(|e| e.to_string())?;
-            partials += 1;
-            partial_bytes += partial.bitstream.byte_len();
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, String>>()?;
 
-            board
-                .set_configuration(&partial.bitstream)
-                .map_err(|e| e.to_string())?;
+    // Phase 2b (serial, job order): push each partial to the single
+    // board and verify its region — the board models one SelectMAP port,
+    // so downloads cannot overlap.
+    for partial in &generated {
+        partials += 1;
+        partial_bytes += partial.bitstream.byte_len();
 
-            // Verify: read the partial's own columns back and compare
-            // with the stamped image. Port time is simulated, so the
-            // verify stage records the readback's modeled duration.
-            let ranges = crate::workflow::region_frame_ranges(&partial.memory, partial.region);
-            let mut readback_bytes = 0usize;
-            let mut mismatch = false;
-            for range in &ranges {
-                let words = board
-                    .get_configuration_region(*range)
-                    .map_err(|e| e.to_string())?;
-                readback_bytes += words.len() * 4;
-                let fw = partial.memory.frame_words();
-                for (i, f) in range.frames().enumerate() {
-                    if words[i * fw..(i + 1) * fw] != *partial.memory.frame(f) {
-                        mismatch = true;
-                    }
+        board
+            .set_configuration(&partial.bitstream)
+            .map_err(|e| e.to_string())?;
+
+        // Verify: read the partial's own columns back and compare with
+        // the stamped image. Port time is simulated, so the verify stage
+        // records the readback's modeled duration.
+        let ranges = crate::workflow::region_frame_ranges(&partial.memory, partial.region);
+        let mut readback_bytes = 0usize;
+        let mut mismatch = false;
+        for range in &ranges {
+            let words = board
+                .get_configuration_region(*range)
+                .map_err(|e| e.to_string())?;
+            readback_bytes += words.len() * 4;
+            let fw = partial.memory.frame_words();
+            for (i, f) in range.frames().enumerate() {
+                if words[i * fw..(i + 1) * fw] != *partial.memory.frame(f) {
+                    mismatch = true;
                 }
             }
-            obs::record_duration_with(
-                "verify",
-                download_time(readback_bytes),
-                vec![("bytes", readback_bytes.to_string())],
-            );
-            if mismatch {
-                verify_failures += 1;
-            }
+        }
+        obs::record_duration_with(
+            "verify",
+            download_time(readback_bytes),
+            vec![("bytes", readback_bytes.to_string())],
+        );
+        if mismatch {
+            verify_failures += 1;
         }
     }
     Ok((partials, full_bytes, partial_bytes, verify_failures))
@@ -304,14 +359,20 @@ pub fn missing_metrics(report: &Report) -> Vec<&'static str> {
 /// Human-readable report: workload summary, stage table, metric table.
 pub fn render_table(report: &Report) -> String {
     let mut out = String::new();
+    let runs = if report.repeats > 1 {
+        format!(" (stage medians over {} runs)", report.repeats)
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "workload {}: {} partials, full bitstream {} bytes, mean partial {} bytes ({:.1}%), {} verify failures\n\n",
+        "workload {}: {} partials, full bitstream {} bytes, mean partial {} bytes ({:.1}%), {} verify failures{}\n\n",
         report.workload.name(),
         report.partials,
         report.full_bytes,
         report.mean_partial_bytes,
         100.0 * report.mean_partial_bytes as f64 / report.full_bytes.max(1) as f64,
         report.verify_failures,
+        runs,
     ));
     out.push_str(&obs::span_table(&report.stages));
     out.push('\n');
@@ -337,8 +398,9 @@ pub fn render_json(report: &Report) -> String {
         })
         .collect();
     format!(
-        "{{\"workload\":\"{}\",\"partials\":{},\"full_bytes\":{},\"mean_partial_bytes\":{},\"verify_failures\":{},\"stages\":[{}],\"metrics\":{}}}",
+        "{{\"workload\":\"{}\",\"repeats\":{},\"partials\":{},\"full_bytes\":{},\"mean_partial_bytes\":{},\"verify_failures\":{},\"stages\":[{}],\"metrics\":{}}}",
         report.workload.name(),
+        report.repeats,
         report.partials,
         report.full_bytes,
         report.mean_partial_bytes,
@@ -391,5 +453,21 @@ mod tests {
         let prom = render_prometheus(&report);
         assert!(prom.contains("# TYPE bitgen_bytes_total counter"));
         assert!(!render_jsonl(&report).is_empty());
+
+        // Repeats ride in the same test: `run` swaps the global span
+        // collector, so engine runs must not overlap across test threads.
+        let rep = run_repeated(Workload::Smoke, 3).expect("repeated smoke runs");
+        assert_eq!(rep.repeats, 3);
+        assert_eq!(rep.verify_failures, 0);
+        let canonical: Vec<&str> = rep
+            .stages
+            .iter()
+            .map(|s| s.name)
+            .filter(|n| STAGE_ORDER.contains(n))
+            .collect();
+        assert_eq!(canonical, STAGE_ORDER);
+        assert!(render_table(&rep).contains("medians over 3 runs"));
+        assert!(render_json(&rep).contains("\"repeats\":3"));
+        assert!(run_repeated(Workload::Smoke, 0).is_err());
     }
 }

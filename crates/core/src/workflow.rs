@@ -244,34 +244,19 @@ pub fn build_variant_library(
     variants: &[Netlist],
     seed: u64,
 ) -> Result<Vec<(String, crate::project::PartialResult)>, WorkflowError> {
-    use rayon::prelude::*;
-    let project = crate::project::JpgProject::from_memory("library", base.memory.clone());
-    variants
-        .par_iter()
-        .enumerate()
-        .map(|(i, nl)| {
-            let v = implement_variant(base, prefix, nl, seed ^ ((i as u64) << 8))?;
-            let partial = project
-                .generate_partial_from(
-                    &v.design,
-                    &module_constraints(prefix, region_of(base, prefix)),
-                )
-                .map_err(|e| WorkflowError::Jpg {
-                    module: prefix.to_string(),
-                    message: e.to_string(),
-                })?;
-            Ok((nl.name.clone(), partial))
-        })
-        .collect()
+    let cat = [RegionCatalogue { prefix, variants }];
+    Ok(strip_prefixes(build_library_pipelined(
+        base, &cat, seed, false,
+    )?))
 }
 
 /// [`build_variant_library`], incremental flavour: one [`FrameCache`]
-/// (primed with the base image's content hashes) is shared across all
-/// variant workers, and each entry is generated with
+/// (primed with the base image's content) is shared across all variant
+/// workers, and each entry is generated with
 /// [`crate::project::JpgProject::generate_partial_incremental`] — only
 /// frames whose content differs from the base are emitted, found through
-/// the translation's dirty-frame byproduct plus a hash lookup instead of
-/// a full-memory diff per variant.
+/// the translation's dirty-frame byproduct plus a base-content compare
+/// instead of a full-memory diff per variant.
 ///
 /// Library entries built this way apply correctly when the module region
 /// holds **base content**; to swap one variant directly for another, use
@@ -284,33 +269,97 @@ pub fn build_variant_library_incremental(
     variants: &[Netlist],
     seed: u64,
 ) -> Result<Vec<(String, crate::project::PartialResult)>, WorkflowError> {
+    let cat = [RegionCatalogue { prefix, variants }];
+    Ok(strip_prefixes(build_library_pipelined(
+        base, &cat, seed, true,
+    )?))
+}
+
+fn strip_prefixes(
+    entries: Vec<(String, String, crate::project::PartialResult)>,
+) -> Vec<(String, crate::project::PartialResult)> {
+    entries
+        .into_iter()
+        .map(|(_, name, partial)| (name, partial))
+        .collect()
+}
+
+/// One region's variant catalogue for [`build_library_pipelined`].
+#[derive(Debug, Clone, Copy)]
+pub struct RegionCatalogue<'a> {
+    /// Module prefix (must match a Phase-1 region).
+    pub prefix: &'a str,
+    /// The variants to implement for that region.
+    pub variants: &'a [Netlist],
+}
+
+/// Build variant libraries for *several* regions as one flattened
+/// parallel job set — cross-variant pipeline parallelism. Every
+/// `(region, variant)` pair becomes an independent work item, so a
+/// worker can be translating one region's variant while another
+/// diffs/generates a different region's: the stage mix overlaps across
+/// the whole catalogue instead of fanning out one region at a time with
+/// a barrier between regions.
+///
+/// With `incremental`, one shared [`FrameCache`] is primed over every
+/// catalogue region up front and all workers decide emission sets
+/// against it (see [`build_variant_library_incremental`] for the
+/// applicability caveat). Entries come back as
+/// `(prefix, variant name, partial)` in catalogue order; per-variant
+/// seeds match the single-region builders, so outputs are byte-identical
+/// to building each region separately.
+///
+/// [`FrameCache`]: crate::cache::FrameCache
+pub fn build_library_pipelined(
+    base: &BaseDesign,
+    catalogues: &[RegionCatalogue<'_>],
+    seed: u64,
+    incremental: bool,
+) -> Result<Vec<(String, String, crate::project::PartialResult)>, WorkflowError> {
     use rayon::prelude::*;
     let project = crate::project::JpgProject::from_memory("library", base.memory.clone());
-    let cache = crate::cache::FrameCache::new();
-    // A variant's dirty frames all lie in the module's region columns or
+    // A variant's dirty frames all lie in its module's region columns or
     // the IOB edge columns (the pad frames of its ports), so only those
-    // need base hashes — any other frame would miss and be emitted,
+    // need base content — any other frame would miss and be emitted,
     // which never happens here and would be harmless if it did.
-    cache.prime_frames(
-        &base.memory,
-        region_frames(&base.memory, region_of(base, prefix)),
-    );
-    variants
-        .par_iter()
-        .enumerate()
-        .map(|(i, nl)| {
+    let cache = incremental.then(|| {
+        let cache = crate::cache::FrameCache::new();
+        for cat in catalogues {
+            cache.prime_frames(
+                &base.memory,
+                region_frames(&base.memory, region_of(base, cat.prefix)),
+            );
+        }
+        cache
+    });
+    // One constraint build per region, shared by its jobs — per-variant
+    // reparsing would tax the single-worker degenerate case for nothing.
+    let region_cons: Vec<Constraints> = catalogues
+        .iter()
+        .map(|cat| module_constraints(cat.prefix, region_of(base, cat.prefix)))
+        .collect();
+    let jobs: Vec<(&str, &Constraints, usize, &Netlist)> = catalogues
+        .iter()
+        .zip(&region_cons)
+        .flat_map(|(cat, cons)| {
+            cat.variants
+                .iter()
+                .enumerate()
+                .map(move |(i, nl)| (cat.prefix, cons, i, nl))
+        })
+        .collect();
+    jobs.par_iter()
+        .map(|&(prefix, cons, i, nl)| {
             let v = implement_variant(base, prefix, nl, seed ^ ((i as u64) << 8))?;
-            let partial = project
-                .generate_partial_incremental(
-                    &v.design,
-                    &module_constraints(prefix, region_of(base, prefix)),
-                    &cache,
-                )
-                .map_err(|e| WorkflowError::Jpg {
-                    module: prefix.to_string(),
-                    message: e.to_string(),
-                })?;
-            Ok((nl.name.clone(), partial))
+            let partial = match &cache {
+                Some(cache) => project.generate_partial_incremental(&v.design, cons, cache),
+                None => project.generate_partial_from(&v.design, cons),
+            }
+            .map_err(|e| WorkflowError::Jpg {
+                module: prefix.to_string(),
+                message: e.to_string(),
+            })?;
+            Ok((prefix.to_string(), nl.name.clone(), partial))
         })
         .collect()
 }
@@ -434,6 +483,53 @@ mod tests {
             dev.feed(&base.bitstream.bitstream).unwrap();
             dev.feed(&partial.bitstream).unwrap();
             assert_eq!(dev.memory(), &partial.memory, "library entry {name}");
+        }
+    }
+
+    #[test]
+    fn pipelined_library_matches_per_region_builds() {
+        let base = two_module_base();
+        let mod1 = vec![gen::counter("up", 3), gen::gray_counter("gray", 3)];
+        let mod2 = vec![gen::parity("par", 6), gen::parity("par2", 4)];
+        let cats = [
+            RegionCatalogue {
+                prefix: "mod1/",
+                variants: &mod1,
+            },
+            RegionCatalogue {
+                prefix: "mod2/",
+                variants: &mod2,
+            },
+        ];
+        for incremental in [false, true] {
+            let pipelined = build_library_pipelined(&base, &cats, 7, incremental).unwrap();
+            assert_eq!(pipelined.len(), 4);
+            let build_one = |prefix: &str, variants: &[Netlist]| {
+                if incremental {
+                    build_variant_library_incremental(&base, prefix, variants, 7).unwrap()
+                } else {
+                    build_variant_library(&base, prefix, variants, 7).unwrap()
+                }
+            };
+            let mut expected = Vec::new();
+            expected.extend(
+                build_one("mod1/", &mod1)
+                    .into_iter()
+                    .map(|(n, p)| ("mod1/", n, p)),
+            );
+            expected.extend(
+                build_one("mod2/", &mod2)
+                    .into_iter()
+                    .map(|(n, p)| ("mod2/", n, p)),
+            );
+            for ((gp, gn, got), (ep, en, want)) in pipelined.iter().zip(&expected) {
+                assert_eq!((gp.as_str(), gn.as_str()), (*ep, en.as_str()));
+                assert_eq!(
+                    got.bitstream.to_bytes(),
+                    want.bitstream.to_bytes(),
+                    "{gp}{gn} diverged (incremental={incremental})"
+                );
+            }
         }
     }
 

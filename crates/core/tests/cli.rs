@@ -160,6 +160,30 @@ fn report_command_prints_all_formats_and_passes_schema_check() {
         "{stdout}"
     );
 
+    // --repeat N aggregates stage medians over N runs.
+    let repeated = Command::new(bin())
+        .args([
+            "report",
+            "--workload",
+            "smoke",
+            "--format",
+            "json",
+            "--repeat",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(repeated.status.success());
+    let stdout = String::from_utf8_lossy(&repeated.stdout);
+    assert!(stdout.contains("\"repeats\":3"), "{stdout}");
+    let repeated = Command::new(bin())
+        .args(["report", "--workload", "smoke", "--repeat", "2"])
+        .output()
+        .unwrap();
+    assert!(repeated.status.success());
+    let stdout = String::from_utf8_lossy(&repeated.stdout);
+    assert!(stdout.contains("medians over 2 runs"), "{stdout}");
+
     // Bad arguments are rejected.
     let bad = Command::new(bin())
         .args(["report", "--workload", "nope"])
@@ -168,6 +192,11 @@ fn report_command_prints_all_formats_and_passes_schema_check() {
     assert!(!bad.status.success());
     let bad = Command::new(bin())
         .args(["report", "--format", "xml"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    let bad = Command::new(bin())
+        .args(["report", "--repeat", "0"])
         .output()
         .unwrap();
     assert!(!bad.status.success());

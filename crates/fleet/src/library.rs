@@ -196,6 +196,30 @@ impl ServingLibrary {
         self.store.bump_epoch()
     }
 
+    /// Pre-generate every `(region, variant)` bitstream for the current
+    /// epoch, fanning the CAD work across worker threads — a fleet warmed
+    /// this way serves its first requests with store hits only, instead
+    /// of paying generation latency on the critical path. Returns the
+    /// number of entries actually generated (already-stored ones are
+    /// skipped by the store's once-per-epoch discipline).
+    pub fn warm(&self) -> Result<usize, FleetError> {
+        use rayon::prelude::*;
+        let jobs: Vec<(usize, usize)> = self
+            .regions
+            .iter()
+            .enumerate()
+            .flat_map(|(r, cat)| (0..cat.variants.len()).map(move |v| (r, v)))
+            .collect();
+        let generated: Vec<usize> = jobs
+            .par_iter()
+            .map(|&(region, variant)| {
+                let (result, hit) = self.resolve(region, variant);
+                result.map(|_| usize::from(!hit))
+            })
+            .collect::<Result<_, FleetError>>()?;
+        Ok(generated.iter().sum())
+    }
+
     /// Resolve `(region, variant)` to its stored bitstreams, generating
     /// them exactly once per base epoch. The `bool` reports a store hit.
     pub fn resolve(

@@ -133,6 +133,9 @@ struct BoardSlot {
     resident: Vec<Resident>,
     /// Simulated cumulative port busy time (the makespan component).
     busy: Duration,
+    /// Readback scratch recycled across verifies — region compares on a
+    /// busy worker would otherwise reallocate the reply buffer per pass.
+    readback: Vec<u32>,
 }
 
 /// The service.
@@ -168,6 +171,7 @@ impl Fleet {
                 board,
                 resident: vec![Resident::Base; regions],
                 busy: Duration::ZERO,
+                readback: Vec::new(),
             }));
         }
         Ok(Fleet {
@@ -489,15 +493,17 @@ impl Fleet {
     ) -> bool {
         let cat = &self.library.regions()[region];
         let fw = virtex::ConfigGeometry::for_device(self.library.device()).frame_words();
-        let mut words = Vec::with_capacity(stored.expected.len());
+        // Split the borrow: the readback scratch lives next to the board
+        // it is filled from, recycled across every verify on this slot.
+        let BoardSlot {
+            board, readback, ..
+        } = slot;
+        readback.clear();
         let mut reply_words = 0usize;
         for r in &cat.verify_ranges {
-            match slot.board.get_configuration_region(*r) {
-                Ok(w) => {
-                    // The physical reply carries one pad frame per read.
-                    reply_words += (r.len + 1) * fw;
-                    words.extend(w);
-                }
+            match board.get_configuration_region_into(*r, readback) {
+                // The physical reply carries one pad frame per read.
+                Ok(()) => reply_words += (r.len + 1) * fw,
                 Err(_) => return false,
             }
         }
@@ -505,7 +511,7 @@ impl Fleet {
         resp.port_time += rb;
         self.metrics.verify_latency.record(rb);
         self.metrics.readback_bytes.add(reply_words as u64 * 4);
-        let ok = words == stored.expected;
+        let ok = *readback == stored.expected;
         if !ok {
             self.metrics.verify_failures.inc();
         }

@@ -147,6 +147,27 @@ fn resident_variant_is_a_zero_traffic_fast_path() {
 }
 
 #[test]
+fn warm_prefetches_the_whole_catalogue_once() {
+    let lib = library();
+    assert_eq!(lib.warm().expect("warm"), 4, "2 regions x 2 variants");
+    assert_eq!(lib.store().len(), 4);
+    // Warming again (same epoch) is a no-op; every entry is a store hit.
+    assert_eq!(lib.warm().expect("rewarm"), 0);
+    assert_eq!(lib.store().len(), 4);
+
+    // A warmed fleet serves the full mixed stream without a single
+    // store miss on the request path.
+    let fleet = Fleet::new(lib.clone(), 2, FleetConfig::default()).expect("fleet");
+    let requests: Vec<Request> = (0..4)
+        .map(|i| counting_request(i, (i % 2) as usize, ((i / 2) % 2) as usize, 1))
+        .collect();
+    let report = fleet.run(requests);
+    assert_eq!(report.served, 4);
+    assert_eq!(fleet.metrics().store_misses.get(), 0, "all prefetched");
+    assert_eq!(fleet.metrics().store_hits.get(), 4);
+}
+
+#[test]
 fn store_generates_each_partial_once_across_the_pool() {
     let lib = library();
     let fleet = Fleet::new(lib.clone(), 4, FleetConfig::default()).expect("fleet");

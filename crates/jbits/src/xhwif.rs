@@ -52,6 +52,18 @@ pub trait Xhwif {
         Ok(words[range.start * fw..(range.start + range.len) * fw].to_vec())
     }
 
+    /// [`Self::get_configuration_region`], **appending** the frames onto
+    /// `out` — callers verifying the same region repeatedly can recycle
+    /// one buffer instead of taking a fresh allocation per readback.
+    fn get_configuration_region_into(
+        &mut self,
+        range: FrameRange,
+        out: &mut Vec<u32>,
+    ) -> Result<(), ConfigError> {
+        out.extend_from_slice(&self.get_configuration_region(range)?);
+        Ok(())
+    }
+
     /// Step the user clock `cycles` times.
     fn clock_step(&mut self, cycles: u64);
 

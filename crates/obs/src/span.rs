@@ -220,6 +220,19 @@ pub struct Span {
 }
 
 impl Span {
+    /// A span that records nothing — what [`crate::span!`] hands out
+    /// when recording is off, without ever materializing its fields.
+    pub fn disabled() -> Span {
+        #[cfg(feature = "obs-off")]
+        {
+            Span { _noop: () }
+        }
+        #[cfg(not(feature = "obs-off"))]
+        {
+            Span { inner: None }
+        }
+    }
+
     /// Enter a stage.
     pub fn enter(name: &'static str) -> Span {
         Span::enter_with(name, Vec::new())
@@ -293,7 +306,13 @@ macro_rules! span {
         $crate::Span::enter($name)
     };
     ($name:expr, $($k:expr => $v:expr),+ $(,)?) => {
-        $crate::Span::enter_with($name, vec![$(($k, $v.to_string())),+])
+        // Fields are only materialized (vec + Display strings) when
+        // recording is on, so disabled spans cost no allocation.
+        if $crate::enabled() {
+            $crate::Span::enter_with($name, vec![$(($k, $v.to_string())),+])
+        } else {
+            $crate::Span::disabled()
+        }
     };
 }
 

@@ -166,12 +166,21 @@ impl Xhwif for SimBoard {
         &mut self,
         range: bitstream::FrameRange,
     ) -> Result<Vec<u32>, ConfigError> {
+        let mut out = Vec::with_capacity(range.len);
+        self.get_configuration_region_into(range, &mut out)?;
+        Ok(out)
+    }
+
+    fn get_configuration_region_into(
+        &mut self,
+        range: bitstream::FrameRange,
+        out: &mut Vec<u32>,
+    ) -> Result<(), ConfigError> {
         // Run the real frame-addressed readback command sequence against
         // the device-side interpreter, instead of the trait's dump-and-
         // slice fallback: the region verifier then exercises the same
         // FAR/RCFG/FDRO path hardware would.
-        let frames = bitstream::readback::readback_frames(self.port.interpreter_mut(), range)?;
-        Ok(frames.concat())
+        bitstream::readback::readback_frames_into(self.port.interpreter_mut(), range, out)
     }
 
     fn clock_step(&mut self, cycles: u64) {

@@ -22,6 +22,12 @@ use serde::{Deserialize, Serialize};
 /// set is a *superset* of a content diff against the state at the last
 /// [`ConfigMemory::clear_dirty`] (writing a bit and writing it back leaves
 /// the frame marked).
+///
+/// The dirty set is hierarchical: one bit per frame in `dirty`, plus one
+/// summary bit per 64-frame chunk in `dirty_summary` (set iff the chunk
+/// word is non-zero). On large devices where stamping touches a handful
+/// of columns, iteration and reset walk the summary and skip runs of
+/// clean chunks without loading them.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ConfigMemory {
     geometry: ConfigGeometry,
@@ -30,6 +36,9 @@ pub struct ConfigMemory {
     /// One bit per frame: set when the frame was touched since the last
     /// `clear_dirty`. Excluded from equality.
     dirty: Vec<u64>,
+    /// One bit per `dirty` word: set iff that word is non-zero. Lets
+    /// dirty-set iteration skip 4096-frame spans per summary word.
+    dirty_summary: Vec<u64>,
 }
 
 impl PartialEq for ConfigMemory {
@@ -47,11 +56,14 @@ impl ConfigMemory {
     pub fn new(device: Device) -> Self {
         let geometry = ConfigGeometry::for_device(device);
         let words = vec![0; geometry.total_words()];
-        let dirty = vec![0; geometry.total_frames().div_ceil(64)];
+        let dirty_words = geometry.total_frames().div_ceil(64);
+        let dirty = vec![0; dirty_words];
+        let dirty_summary = vec![0; dirty_words.div_ceil(64)];
         ConfigMemory {
             geometry,
             words,
             dirty,
+            dirty_summary,
         }
     }
 
@@ -87,6 +99,14 @@ impl ConfigMemory {
         self.mark_frame_dirty(idx);
         let fw = self.frame_words();
         &mut self.words[idx * fw..(idx + 1) * fw]
+    }
+
+    /// Read-only view of `len` consecutive frames starting at linear
+    /// index `start` — one contiguous slice of the slab, usable as a
+    /// multi-frame FDRI payload without copying frame by frame.
+    pub fn frame_span(&self, start: usize, len: usize) -> &[u32] {
+        let fw = self.frame_words();
+        &self.words[start * fw..(start + len) * fw]
     }
 
     /// Read-only view of the frame at `far`, if the address is valid.
@@ -207,7 +227,9 @@ impl ConfigMemory {
     /// Mark frame `idx` as touched.
     pub fn mark_frame_dirty(&mut self, idx: usize) {
         debug_assert!(idx < self.frame_count());
-        self.dirty[idx / 64] |= 1u64 << (idx % 64);
+        let word = idx / 64;
+        self.dirty[word] |= 1u64 << (idx % 64);
+        self.dirty_summary[word / 64] |= 1u64 << (word % 64);
     }
 
     /// Whether frame `idx` was touched since the last
@@ -216,33 +238,64 @@ impl ConfigMemory {
         (self.dirty[idx / 64] >> (idx % 64)) & 1 == 1
     }
 
+    /// Visit every touched chunk of the dirty bitmap: `(word, bits)`
+    /// pairs where `bits` is the non-zero 64-frame chunk at
+    /// `dirty[word]`. Walks the summary level, so runs of clean chunks
+    /// cost one bit-scan per 4096 frames.
+    fn for_each_dirty_word(&self, mut f: impl FnMut(usize, u64)) {
+        for (s, &sum) in self.dirty_summary.iter().enumerate() {
+            let mut sum_bits = sum;
+            while sum_bits != 0 {
+                let w = s * 64 + sum_bits.trailing_zeros() as usize;
+                sum_bits &= sum_bits - 1;
+                f(w, self.dirty[w]);
+            }
+        }
+    }
+
     /// Linear indices of all touched frames, ascending.
     pub fn dirty_frames(&self) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.dirty_count());
-        for (i, &chunk) in self.dirty.iter().enumerate() {
-            let mut bits = chunk;
+        self.dirty_frames_into(&mut out);
+        out
+    }
+
+    /// Append the indices of all touched frames to `out`, ascending —
+    /// the allocation-free spelling of [`Self::dirty_frames`] for
+    /// callers that recycle the vector across generations.
+    pub fn dirty_frames_into(&self, out: &mut Vec<usize>) {
+        self.for_each_dirty_word(|w, mut bits| {
             while bits != 0 {
-                let b = bits.trailing_zeros() as usize;
-                out.push(i * 64 + b);
+                out.push(w * 64 + bits.trailing_zeros() as usize);
                 bits &= bits - 1;
             }
-        }
-        out
+        });
     }
 
     /// Number of touched frames.
     pub fn dirty_count(&self) -> usize {
-        self.dirty.iter().map(|c| c.count_ones() as usize).sum()
+        let mut n = 0;
+        self.for_each_dirty_word(|_, bits| n += bits.count_ones() as usize);
+        n
     }
 
     /// Whether any frame is marked dirty.
     pub fn any_dirty(&self) -> bool {
-        self.dirty.iter().any(|&c| c != 0)
+        self.dirty_summary.iter().any(|&c| c != 0)
     }
 
-    /// Forget all dirty marks, making the current content the new baseline.
+    /// Forget all dirty marks, making the current content the new
+    /// baseline. Resets only the chunks the summary flags as touched.
     pub fn clear_dirty(&mut self) {
-        self.dirty.fill(0);
+        for (s, sum) in self.dirty_summary.iter_mut().enumerate() {
+            let mut sum_bits = *sum;
+            while sum_bits != 0 {
+                let w = s * 64 + sum_bits.trailing_zeros() as usize;
+                sum_bits &= sum_bits - 1;
+                self.dirty[w] = 0;
+            }
+            *sum = 0;
+        }
     }
 
     /// Number of set bits in the whole image (a cheap occupancy proxy used
@@ -401,6 +454,54 @@ mod tests {
         a.set_bit(0, 0, false);
         assert!(a.any_dirty());
         assert_eq!(a, b, "write-and-revert leaves content equal");
+    }
+
+    #[test]
+    fn frame_span_matches_per_frame_views() {
+        let mut m = ConfigMemory::new(Device::XCV50);
+        m.set_bit(8, 3, true);
+        m.set_bit(10, 17, true);
+        let span = m.frame_span(8, 3);
+        assert_eq!(span.len(), 3 * m.frame_words());
+        let fw = m.frame_words();
+        for (k, idx) in (8..11).enumerate() {
+            assert_eq!(&span[k * fw..(k + 1) * fw], m.frame(idx));
+        }
+        assert_eq!(m.frame_span(8, 0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn dirty_frames_into_appends_and_reuses() {
+        let mut m = ConfigMemory::new(Device::XCV100);
+        m.set_bit(5, 0, true);
+        m.set_bit(700, 0, true);
+        let mut out = vec![999];
+        m.dirty_frames_into(&mut out);
+        assert_eq!(out, vec![999, 5, 700]);
+        out.clear();
+        m.dirty_frames_into(&mut out);
+        assert_eq!(out, m.dirty_frames());
+    }
+
+    #[test]
+    fn summary_survives_clear_and_remark() {
+        // Frames far enough apart to land in distinct summary chunks on
+        // no device we have — but the same code path must stay exact
+        // across mark/clear/mark cycles regardless.
+        let mut m = ConfigMemory::new(Device::XCV100);
+        for idx in [0, 63, 64, 127, 1000] {
+            m.mark_frame_dirty(idx);
+        }
+        assert_eq!(m.dirty_frames(), vec![0, 63, 64, 127, 1000]);
+        assert_eq!(m.dirty_count(), 5);
+        m.clear_dirty();
+        assert!(!m.any_dirty());
+        assert_eq!(m.dirty_count(), 0);
+        assert!(m.dirty_frames().is_empty());
+        m.mark_frame_dirty(64);
+        assert_eq!(m.dirty_frames(), vec![64]);
+        assert!(m.is_frame_dirty(64));
+        assert!(!m.is_frame_dirty(63));
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Property tests pinning the hierarchical dirty bitmap to a flat
+//! shadow model: under any interleaving of bit writes, frame clears,
+//! conservative marks and baseline resets, the two-level summary must
+//! report exactly the set a plain per-frame bitset would.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use virtex::{ConfigMemory, Device};
+
+/// One step of the random write/clear schedule.
+#[derive(Debug, Clone)]
+enum Step {
+    /// `set_bit(frame, bit, value)` — marks only on content change.
+    SetBit(usize, usize, bool),
+    /// `clear_frame(frame)` — marks only when content was present.
+    ClearFrame(usize),
+    /// `mark_frame_dirty(frame)` — unconditional mark.
+    Mark(usize),
+    /// `clear_dirty()` — new baseline, empties the model too.
+    ResetBaseline,
+}
+
+/// Decode a raw sampled tuple into a step. The tag picks the operation;
+/// baseline resets are deliberately rare (1 in 8) so dirty sets grow.
+fn decode_step(tag: usize, frame: usize, bit: usize, value: bool) -> Step {
+    match tag {
+        0..=3 => Step::SetBit(frame, bit, value),
+        4 | 5 => Step::ClearFrame(frame),
+        6 => Step::Mark(frame),
+        _ => Step::ResetBaseline,
+    }
+}
+
+/// Replay `steps` against both the real image and a shadow set that
+/// implements the documented marking rules directly.
+fn check_schedule(device: Device, steps: &[Step]) {
+    let mut mem = ConfigMemory::new(device);
+    let mut model: BTreeSet<usize> = BTreeSet::new();
+    for step in steps {
+        match *step {
+            Step::SetBit(frame, bit, value) => {
+                if mem.get_bit(frame, bit) != value {
+                    model.insert(frame);
+                }
+                mem.set_bit(frame, bit, value);
+            }
+            Step::ClearFrame(frame) => {
+                if mem.frame(frame).iter().any(|&w| w != 0) {
+                    model.insert(frame);
+                }
+                mem.clear_frame(frame);
+            }
+            Step::Mark(frame) => {
+                mem.mark_frame_dirty(frame);
+                model.insert(frame);
+            }
+            Step::ResetBaseline => {
+                mem.clear_dirty();
+                model.clear();
+            }
+        }
+        // The hierarchy must agree with the flat model after every step,
+        // through every read-side API.
+        let expect: Vec<usize> = model.iter().copied().collect();
+        assert_eq!(mem.dirty_frames(), expect);
+        assert_eq!(mem.dirty_count(), model.len());
+        assert_eq!(mem.any_dirty(), !model.is_empty());
+        let mut reused = Vec::new();
+        mem.dirty_frames_into(&mut reused);
+        assert_eq!(reused, expect);
+    }
+    for f in 0..mem.frame_count().min(64) {
+        assert_eq!(mem.is_frame_dirty(f), model.contains(&f));
+    }
+}
+
+proptest! {
+    /// XCV50: small device, dense schedules hammer chunk boundaries.
+    #[test]
+    fn hierarchy_matches_flat_model_xcv50(
+        raw in proptest::collection::vec(
+            (0usize..8, 0usize..200, 0usize..300, any::<bool>()), 1..120)
+    ) {
+        let steps: Vec<Step> = raw
+            .into_iter()
+            .map(|(t, f, b, v)| decode_step(t, f, b, v))
+            .collect();
+        check_schedule(Device::XCV50, &steps);
+    }
+
+    /// XCV300: enough frames that marks land in distinct summary spans.
+    #[test]
+    fn hierarchy_matches_flat_model_xcv300(
+        raw in proptest::collection::vec(
+            (0usize..8, 0usize..1500, 0usize..200, any::<bool>()), 1..60)
+    ) {
+        let steps: Vec<Step> = raw
+            .into_iter()
+            .map(|(t, f, b, v)| decode_step(t, f, b, v))
+            .collect();
+        check_schedule(Device::XCV300, &steps);
+    }
+}
+
+/// The exact chunk edges (63/64, 127/128, last frame) with interleaved
+/// baseline resets — the places a summary-bit bug would hide.
+#[test]
+fn chunk_edges_after_resets() {
+    let mem = ConfigMemory::new(Device::XCV100);
+    let last = mem.frame_count() - 1;
+    let steps = vec![
+        Step::Mark(63),
+        Step::Mark(64),
+        Step::Mark(last),
+        Step::ResetBaseline,
+        Step::Mark(64),
+        Step::ClearFrame(64),
+        Step::SetBit(127, 5, true),
+        Step::SetBit(128, 5, true),
+        Step::ResetBaseline,
+        Step::SetBit(127, 5, false),
+        Step::Mark(last),
+    ];
+    check_schedule(Device::XCV100, &steps);
+}
