@@ -1,0 +1,191 @@
+//! CI scale-smoke guard for the event-driven fleet scheduler: 10k
+//! simulated boards draining 1M synthetic requests under 10% fault
+//! injection must complete with 100% eventual success — every request
+//! served, nothing failed/rejected/shed, and no board left holding
+//! unverified state — well inside the 90 s wall budget.
+//!
+//! The job also cross-checks the determinism gate at bench scale (the
+//! unit gate runs a smaller trace): the same seeded workload at 1, 2,
+//! and 4 workers must produce identical outcome totals, identical
+//! virtual completion time, and an identical metric snapshot.
+//!
+//! With `--sweep`, instead runs the E14 scale curve (boards 8 → 10k,
+//! Zipf s = 1.1, partial vs full-swap) and prints `BENCH_fleet_scale`
+//! JSON to stdout.
+
+use fleet::sim::{simulate, FleetSimSpec};
+use fleet::{Resident, ServeMode};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const WALL_BUDGET_S: f64 = 90.0;
+
+fn soak_spec() -> FleetSimSpec {
+    FleetSimSpec {
+        boards: 10_000,
+        requests: 1_000_000,
+        regions: 8,
+        variants: 16,
+        fault_rate: 0.10,
+        seed: 0x5CA1E,
+        ..FleetSimSpec::default()
+    }
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--sweep") {
+        return sweep();
+    }
+
+    // Determinism cross-check on a mid-size trace before paying for the
+    // full soak.
+    let mut det = FleetSimSpec {
+        boards: 512,
+        requests: 50_000,
+        regions: 4,
+        variants: 8,
+        fault_rate: 0.10,
+        seed: 0xD0_0D,
+        ..FleetSimSpec::default()
+    };
+    det.workers = 1;
+    let base = simulate(&det);
+    for workers in [2usize, 4] {
+        det.workers = workers;
+        let other = simulate(&det);
+        if other.outcomes != base.outcomes
+            || other.completed != base.completed
+            || other.snapshot != base.snapshot
+        {
+            eprintln!("fleet-scale-smoke: FAIL — results diverged at {workers} workers");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "fleet-scale-smoke: determinism holds at 1/2/4 workers \
+         (512 boards, 50k requests, 10% faults)"
+    );
+
+    // The soak proper.
+    let spec = soak_spec();
+    let t0 = Instant::now();
+    let r = simulate(&spec);
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "fleet-scale-smoke: {} boards x {} requests @ {:.0}% faults in {:.2} s wall",
+        spec.boards,
+        spec.requests,
+        spec.fault_rate * 100.0,
+        wall
+    );
+    println!(
+        "  served {} (resident {}, coalesced {}), failed {}, rejected {}, shed {}",
+        r.served, r.resident_hits, r.coalesced, r.failed, r.rejected, r.shed
+    );
+    println!(
+        "  {} downloads, {} retries; p50 {} us, p99 {} us, p999 {} us; {:.0} req/s virtual",
+        r.downloads,
+        r.retries,
+        r.p50.as_micros(),
+        r.p99.as_micros(),
+        r.p999.as_micros(),
+        r.throughput_rps
+    );
+
+    let mut ok = true;
+    if r.served != spec.requests as u64 {
+        eprintln!(
+            "fleet-scale-smoke: FAIL — only {}/{} served",
+            r.served, spec.requests
+        );
+        ok = false;
+    }
+    if r.failed + r.rejected + r.shed != 0 {
+        eprintln!(
+            "fleet-scale-smoke: FAIL — {} failed / {} rejected / {} shed",
+            r.failed, r.rejected, r.shed
+        );
+        ok = false;
+    }
+    // Zero verify failures in the sense that matters: injected faults
+    // force retries, but no request completes unverified and no board
+    // region is left in an unknown (unverified) state.
+    let unverified = r
+        .resident
+        .iter()
+        .flatten()
+        .filter(|res| **res == Resident::Unknown)
+        .count();
+    if unverified != 0 {
+        eprintln!("fleet-scale-smoke: FAIL — {unverified} regions left unverified");
+        ok = false;
+    }
+    if wall >= WALL_BUDGET_S {
+        eprintln!("fleet-scale-smoke: FAIL — {wall:.2} s exceeds the {WALL_BUDGET_S:.0} s budget");
+        ok = false;
+    }
+    if ok {
+        println!("fleet-scale-smoke: PASS");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// E14 scale sweep: boards 8 → 10k at Zipf s = 1.1, partial vs full.
+fn sweep() -> ExitCode {
+    println!("{{\"bench\":\"fleet_scale\",\"zipf_s\":1.1,\"fault_rate\":0.1,\"rows\":[");
+    let mut first = true;
+    for &boards in &[8usize, 64, 512, 2048, 10_000] {
+        // Hold offered load at ~80% of modelled capacity per fleet size
+        // (the spec's auto gap) and scale the request count with the
+        // fleet so every row runs long enough to mean something.
+        let requests = (boards * 800).clamp(10_000, 1_000_000);
+        let mut row = String::new();
+        for mode in [ServeMode::Partial, ServeMode::FullSwap] {
+            let spec = FleetSimSpec {
+                boards,
+                requests,
+                regions: 8,
+                variants: 16,
+                fault_rate: 0.10,
+                mode,
+                seed: 0xE14,
+                ..FleetSimSpec::default()
+            };
+            let t0 = Instant::now();
+            let r = simulate(&spec);
+            let wall = t0.elapsed().as_secs_f64();
+            let tag = match mode {
+                ServeMode::Partial => "partial",
+                ServeMode::FullSwap => "full",
+            };
+            if !row.is_empty() {
+                row.push(',');
+            }
+            row.push_str(&format!(
+                concat!(
+                    "\"{}\":{{\"served\":{},\"download_bytes\":{},\"p50_us\":{},",
+                    "\"p99_us\":{},\"p999_us\":{},\"throughput_rps\":{:.1},",
+                    "\"makespan_ns\":{},\"wall_s\":{:.3}}}"
+                ),
+                tag,
+                r.served,
+                r.download_bytes,
+                r.p50.as_micros(),
+                r.p99.as_micros(),
+                r.p999.as_micros(),
+                r.throughput_rps,
+                r.makespan_ns,
+                wall
+            ));
+        }
+        println!(
+            "{}{{\"boards\":{boards},\"requests\":{requests},{row}}}",
+            if first { "" } else { "," }
+        );
+        first = false;
+    }
+    println!("]}}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,372 @@
+//! Command-line front end for the JPG tool — the batch equivalent of the
+//! paper's GUI.
+//!
+//! ```text
+//! jpg-cli info <file.bit>
+//! jpg-cli partial --base <base.bit> --xdl <mod.xdl> --ucf <mod.ucf>
+//!         --out <partial.bit> [--merge <updated-base.bit>] [--floorplan]
+//! jpg-cli report [--workload fig4|smoke] [--format table|json|prometheus|jsonl]
+//!         [--repeat N] [--check-schema]
+//! jpg-cli fleet-sim [--boards N] [--requests N] [--shards N] [--workers N]
+//!         [--seed S] [--zipf S] [--fault-rate F] [--mode partial|full]
+//!         [--regions N] [--variants N] [--queue-cap N] [--shed-watermark N]
+//!         [--format table|json] [--log-events]
+//! ```
+
+use bitstream::BitFile;
+use jpg::JpgProject;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("info") => info(&args[1..]),
+        Some("partial") => partial(&args[1..]),
+        Some("report") => report(&args[1..]),
+        Some("fleet-sim") => fleet_sim(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  jpg-cli info <file.bit>\n  jpg-cli partial --base <base.bit> \
+                 --xdl <mod.xdl> --ucf <mod.ucf> --out <partial.bit> \
+                 [--merge <updated.bit>] [--floorplan]\n  jpg-cli report \
+                 [--workload fig4|smoke] [--format table|json|prometheus|jsonl] \
+                 [--repeat N] [--check-schema]\n  jpg-cli fleet-sim \
+                 [--boards N] [--requests N] [--shards N] [--workers N] [--seed S] \
+                 [--zipf S] [--fault-rate F] [--mode partial|full] [--regions N] \
+                 [--variants N] [--queue-cap N] [--shed-watermark N] \
+                 [--format table|json] [--log-events]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("jpg-cli: {msg}");
+    ExitCode::FAILURE
+}
+
+fn info(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("info: missing file");
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    match BitFile::from_bytes(&bytes) {
+        Ok(f) => {
+            println!("design : {}", f.design);
+            println!("device : {}", f.device);
+            println!(
+                "kind   : {}",
+                if f.partial { "partial" } else { "complete" }
+            );
+            println!("payload: {} bytes", f.bitstream.byte_len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("{path}: {e}")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut bare = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), it.next().unwrap().clone());
+                }
+                _ => {
+                    flags.insert(name.to_string(), String::new());
+                }
+            }
+        } else {
+            bare.push(a.clone());
+        }
+    }
+    (flags, bare)
+}
+
+fn partial(args: &[String]) -> ExitCode {
+    let (flags, _) = parse_flags(args);
+    let need = |k: &str| -> Result<String, String> {
+        flags
+            .get(k)
+            .filter(|v| !v.is_empty())
+            .cloned()
+            .ok_or_else(|| format!("partial: missing --{k}"))
+    };
+    let run = || -> Result<(), String> {
+        let base_path = need("base")?;
+        let xdl_path = need("xdl")?;
+        let ucf_path = need("ucf")?;
+        let out_path = need("out")?;
+
+        let base_bytes = std::fs::read(&base_path).map_err(|e| format!("{base_path}: {e}"))?;
+        let base = BitFile::from_bytes(&base_bytes).map_err(|e| format!("{base_path}: {e}"))?;
+        if base.partial {
+            return Err(format!(
+                "{base_path}: base design must be a complete bitstream"
+            ));
+        }
+        let xdl_text =
+            std::fs::read_to_string(&xdl_path).map_err(|e| format!("{xdl_path}: {e}"))?;
+        let ucf_text =
+            std::fs::read_to_string(&ucf_path).map_err(|e| format!("{ucf_path}: {e}"))?;
+
+        let mut project = JpgProject::open(base).map_err(|e| e.to_string())?;
+        let result = project
+            .generate_partial(&xdl_text, &ucf_text)
+            .map_err(|e| e.to_string())?;
+
+        if flags.contains_key("floorplan") {
+            eprintln!("{}", result.floorplan);
+        }
+        eprintln!(
+            "partial: {} bytes over CLB columns {:?} ({} frames, {} JBits calls)",
+            result.bitstream.byte_len(),
+            result.clb_columns,
+            result.frames,
+            result.stats.total()
+        );
+        std::fs::write(&out_path, result.bitfile.to_bytes())
+            .map_err(|e| format!("{out_path}: {e}"))?;
+        eprintln!("wrote {out_path}");
+
+        if let Some(merge_path) = flags.get("merge").filter(|v| !v.is_empty()) {
+            project
+                .write_onto_base(&result)
+                .map_err(|e| e.to_string())?;
+            std::fs::write(merge_path, project.base_bitstream().to_bytes())
+                .map_err(|e| format!("{merge_path}: {e}"))?;
+            eprintln!("wrote {merge_path} (base with module applied)");
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+/// Run a Figure-4-style workload with tracing live and print the stage
+/// breakdown plus the metric snapshot (see `jpg::report`).
+fn report(args: &[String]) -> ExitCode {
+    let (flags, _) = parse_flags(args);
+    let workload = match flags.get("workload").map(String::as_str) {
+        None | Some("") => jpg::report::Workload::Fig4,
+        Some(w) => match jpg::report::Workload::parse(w) {
+            Some(w) => w,
+            None => return fail(&format!("report: unknown workload {w:?}")),
+        },
+    };
+    let format = match flags.get("format").map(String::as_str) {
+        None | Some("") | Some("table") => "table",
+        Some(f @ ("json" | "prometheus" | "jsonl")) => f,
+        Some(f) => return fail(&format!("report: unknown format {f:?}")),
+    };
+    let repeats = match flags.get("repeat").map(String::as_str) {
+        None | Some("") => 1,
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return fail(&format!(
+                    "report: --repeat wants a positive integer, got {n:?}"
+                ))
+            }
+        },
+    };
+    let r = match jpg::report::run_repeated(workload, repeats) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("report: {e}")),
+    };
+    match format {
+        "json" => println!("{}", jpg::report::render_json(&r)),
+        "prometheus" => print!("{}", jpg::report::render_prometheus(&r)),
+        "jsonl" => print!("{}", jpg::report::render_jsonl(&r)),
+        _ => print!("{}", jpg::report::render_table(&r)),
+    }
+    if flags.contains_key("check-schema") {
+        let missing = jpg::report::missing_metrics(&r);
+        if !missing.is_empty() {
+            return fail(&format!(
+                "report: snapshot is missing required metrics: {missing:?}"
+            ));
+        }
+        eprintln!(
+            "schema check: all {} required metrics present",
+            jpg::report::REQUIRED_METRICS.len()
+        );
+    }
+    if r.verify_failures > 0 {
+        return fail(&format!("report: {} verify failures", r.verify_failures));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Drive the event-driven fleet scheduler over a synthetic Zipf/bursty
+/// trace and report virtual-time latency quantiles plus throughput.
+fn fleet_sim(args: &[String]) -> ExitCode {
+    let (flags, _) = parse_flags(args);
+    let run = || -> Result<(), String> {
+        let mut spec = fleet::FleetSimSpec::default();
+        let parse_usize = |k: &str, into: &mut usize| -> Result<(), String> {
+            if let Some(v) = flags.get(k).filter(|v| !v.is_empty()) {
+                *into = v
+                    .parse()
+                    .map_err(|_| format!("fleet-sim: --{k} wants an integer, got {v:?}"))?;
+            }
+            Ok(())
+        };
+        parse_usize("boards", &mut spec.boards)?;
+        parse_usize("requests", &mut spec.requests)?;
+        parse_usize("shards", &mut spec.shards)?;
+        parse_usize("workers", &mut spec.workers)?;
+        parse_usize("queue-cap", &mut spec.queue_cap)?;
+        parse_usize("shed-watermark", &mut spec.shed_watermark)?;
+        if let Some(v) = flags.get("seed").filter(|v| !v.is_empty()) {
+            spec.seed = v
+                .parse()
+                .map_err(|_| format!("fleet-sim: --seed wants an integer, got {v:?}"))?;
+        }
+        if let Some(v) = flags.get("zipf").filter(|v| !v.is_empty()) {
+            spec.zipf_s = v
+                .parse()
+                .map_err(|_| format!("fleet-sim: --zipf wants a float, got {v:?}"))?;
+        }
+        if let Some(v) = flags.get("fault-rate").filter(|v| !v.is_empty()) {
+            spec.fault_rate = v
+                .parse()
+                .map_err(|_| format!("fleet-sim: --fault-rate wants a float, got {v:?}"))?;
+            if !(0.0..=1.0).contains(&spec.fault_rate) {
+                return Err(format!(
+                    "fleet-sim: --fault-rate must be in [0, 1], got {v}"
+                ));
+            }
+        }
+        let mut regions = spec.regions as usize;
+        let mut variants = spec.variants as usize;
+        parse_usize("regions", &mut regions)?;
+        parse_usize("variants", &mut variants)?;
+        spec.regions = regions as u32;
+        spec.variants = variants as u32;
+        match flags.get("mode").map(String::as_str) {
+            None | Some("") | Some("partial") => spec.mode = fleet::ServeMode::Partial,
+            Some("full") | Some("fullswap") => spec.mode = fleet::ServeMode::FullSwap,
+            Some(m) => return Err(format!("fleet-sim: unknown mode {m:?}")),
+        }
+        spec.log_events = flags.contains_key("log-events");
+        if spec.boards == 0 || spec.requests == 0 {
+            return Err("fleet-sim: --boards and --requests must be positive".into());
+        }
+
+        let r = fleet::simulate(&spec);
+        if spec.log_events {
+            for line in &r.event_log {
+                eprintln!("{line}");
+            }
+        }
+        let format = flags.get("format").map(String::as_str).unwrap_or("table");
+        match format {
+            "json" => println!("{}", render_fleet_json(&spec, &r)),
+            "table" | "" => print!("{}", render_fleet_table(&spec, &r)),
+            f => return Err(format!("fleet-sim: unknown format {f:?}")),
+        }
+        if r.failed + r.rejected + r.shed > 0 && spec.queue_cap == usize::MAX {
+            // With unbounded admission every request must eventually be
+            // served; anything else is a scheduler defect.
+            return Err(format!(
+                "fleet-sim: {} requests did not complete successfully",
+                r.failed + r.rejected + r.shed
+            ));
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn render_fleet_table(spec: &fleet::FleetSimSpec, r: &fleet::SimReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "fleet-sim: {} boards / {} shards, {} requests, zipf {}, fault rate {}, {:?}\n",
+        spec.boards,
+        spec.sched_config().shards,
+        spec.requests,
+        spec.zipf_s,
+        spec.fault_rate,
+        spec.mode,
+    ));
+    s.push_str(&format!(
+        "outcomes : {} served ({} resident-hit, {} coalesced), {} failed, {} rejected, {} shed\n",
+        r.served, r.resident_hits, r.coalesced, r.failed, r.rejected, r.shed
+    ));
+    s.push_str(&format!(
+        "traffic  : {} downloads, {} bytes pushed, {} bytes read back, {} retries, {} verify failures\n",
+        r.downloads, r.download_bytes, r.readback_bytes, r.retries, r.verify_failures
+    ));
+    s.push_str(&format!(
+        "schedule : virtual makespan {:.3} ms, {} stolen, throughput {:.0} req/s (virtual)\n",
+        r.makespan_ns as f64 / 1e6,
+        r.stolen,
+        r.throughput_rps
+    ));
+    s.push_str(&format!(
+        "latency  : p50 {} us, p99 {} us, p999 {} us (arrival to completion, virtual)\n",
+        r.p50.as_micros(),
+        r.p99.as_micros(),
+        r.p999.as_micros()
+    ));
+    s.push_str(&format!("wall     : {:.3} s\n", r.wall.as_secs_f64()));
+    s
+}
+
+fn render_fleet_json(spec: &fleet::FleetSimSpec, r: &fleet::SimReport) -> String {
+    format!(
+        concat!(
+            "{{\"boards\":{},\"shards\":{},\"workers\":{},\"requests\":{},",
+            "\"zipf_s\":{},\"fault_rate\":{},\"mode\":\"{}\",\"seed\":{},",
+            "\"served\":{},\"failed\":{},\"rejected\":{},\"shed\":{},",
+            "\"resident_hits\":{},\"coalesced\":{},\"downloads\":{},",
+            "\"download_bytes\":{},\"readback_bytes\":{},\"retries\":{},",
+            "\"verify_failures\":{},\"stolen\":{},\"makespan_ns\":{},",
+            "\"throughput_rps\":{:.1},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},",
+            "\"wall_s\":{:.3}}}"
+        ),
+        spec.boards,
+        spec.sched_config().shards,
+        spec.workers,
+        spec.requests,
+        spec.zipf_s,
+        spec.fault_rate,
+        match spec.mode {
+            fleet::ServeMode::Partial => "partial",
+            fleet::ServeMode::FullSwap => "full",
+        },
+        spec.seed,
+        r.served,
+        r.failed,
+        r.rejected,
+        r.shed,
+        r.resident_hits,
+        r.coalesced,
+        r.downloads,
+        r.download_bytes,
+        r.readback_bytes,
+        r.retries,
+        r.verify_failures,
+        r.stolen,
+        r.makespan_ns,
+        r.throughput_rps,
+        r.p50.as_micros(),
+        r.p99.as_micros(),
+        r.p999.as_micros(),
+        r.wall.as_secs_f64(),
+    )
+}

@@ -246,3 +246,79 @@ fn cli_rejects_bad_inputs() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("complete"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn fleet_sim_reports_deterministic_scheduling() {
+    // Table output carries the scheduling summary.
+    let out = Command::new(bin())
+        .args([
+            "fleet-sim",
+            "--boards",
+            "32",
+            "--requests",
+            "2000",
+            "--seed",
+            "9",
+            "--fault-rate",
+            "0.1",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fleet-sim failed: {stderr}");
+    let table = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(table.contains("2000 served"), "{table}");
+    assert!(table.contains("p50"), "{table}");
+    assert!(table.contains("p999"), "{table}");
+
+    // JSON output is machine-readable and identical across worker
+    // counts (the scheduler's determinism guarantee, end to end
+    // through the binary).
+    let run = |workers: &str| {
+        let out = Command::new(bin())
+            .args([
+                "fleet-sim",
+                "--boards",
+                "32",
+                "--requests",
+                "2000",
+                "--seed",
+                "9",
+                "--fault-rate",
+                "0.1",
+                "--workers",
+                workers,
+                "--format",
+                "json",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let json = String::from_utf8_lossy(&out.stdout).to_string();
+        // Strip the two fields that legitimately differ between runs:
+        // the echoed worker count and the wall clock.
+        let cut = json.find(",\"wall_s\"").unwrap();
+        json[..cut].replace(&format!("\"workers\":{workers},"), "")
+    };
+    let one = run("1");
+    let four = run("4");
+    assert_eq!(one, four, "worker count changed virtual results");
+    assert!(one.contains("\"served\":2000"), "{one}");
+
+    // Bad arguments are rejected.
+    let bad = Command::new(bin())
+        .args(["fleet-sim", "--mode", "nope"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    let bad = Command::new(bin())
+        .args(["fleet-sim", "--fault-rate", "2.0"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    let bad = Command::new(bin())
+        .args(["fleet-sim", "--boards", "0"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+}

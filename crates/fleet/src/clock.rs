@@ -1,0 +1,192 @@
+//! Discrete-event virtual clock for the fleet scheduler.
+//!
+//! SelectMAP time is simulated anyway ([`simboard::port`] computes it
+//! from byte counts, it never sleeps), so the serving layer does not
+//! need wall time at all: boards advance by *virtual nanoseconds* and a
+//! min-heap of timestamped events replaces the thread-per-board model.
+//! Ten thousand boards and millions of requests then run in seconds of
+//! wall clock — and, because event order is a pure function of the
+//! trace, every schedule is deterministic and replayable from a seed.
+//!
+//! Ordering ties are broken by a per-queue insertion sequence number,
+//! never by payload comparison, so event kinds need no `Ord` bound and
+//! two events at the same instant always replay in the order they were
+//! scheduled.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vt(u64);
+
+impl Vt {
+    /// The simulation epoch.
+    pub const ZERO: Vt = Vt(0);
+
+    /// A timestamp `ns` nanoseconds after the epoch.
+    pub const fn from_ns(ns: u64) -> Vt {
+        Vt(ns)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn ns(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as a [`Duration`] since the epoch.
+    pub const fn as_duration(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// The instant `d` later (saturating).
+    pub fn after(self, d: Duration) -> Vt {
+        Vt(self.0.saturating_add(d.as_nanos() as u64))
+    }
+
+    /// The instant `ns` nanoseconds later (saturating).
+    pub const fn after_ns(self, ns: u64) -> Vt {
+        Vt(self.0.saturating_add(ns))
+    }
+}
+
+/// A scheduled event: a payload due at a virtual instant.
+#[derive(Debug, Clone)]
+pub struct Event<K> {
+    /// When the event fires.
+    pub at: Vt,
+    /// Insertion order within the owning queue; the deterministic
+    /// tie-break for simultaneous events.
+    pub seq: u64,
+    /// The payload.
+    pub kind: K,
+}
+
+// Ordering is on (at, seq) only — reversed, because BinaryHeap is a
+// max-heap and we want the earliest event on top.
+impl<K> PartialEq for Event<K> {
+    fn eq(&self, other: &Event<K>) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<K> Eq for Event<K> {}
+impl<K> PartialOrd for Event<K> {
+    fn partial_cmp(&self, other: &Event<K>) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K> Ord for Event<K> {
+    fn cmp(&self, other: &Event<K>) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A min-ordered queue of timestamped events.
+///
+/// Each shard of the scheduler owns one; `seq` is assigned at push so
+/// same-instant events pop in scheduling order regardless of heap
+/// internals.
+#[derive(Debug)]
+pub struct EventQueue<K> {
+    heap: BinaryHeap<Event<K>>,
+    next_seq: u64,
+}
+
+impl<K> Default for EventQueue<K> {
+    fn default() -> EventQueue<K> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<K> EventQueue<K> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<K> {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at `at`.
+    pub fn push(&mut self, at: Vt, kind: K) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// The instant of the earliest pending event.
+    pub fn peek_at(&self) -> Option<Vt> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event if it fires strictly before `limit`.
+    ///
+    /// The strict bound is what makes windowed parallel execution
+    /// deterministic: every shard processes exactly the events in
+    /// `[now, limit)` no matter which worker runs it.
+    pub fn pop_if_before(&mut self, limit: Vt) -> Option<Event<K>> {
+        if self.heap.peek().is_some_and(|e| e.at < limit) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Pop the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<Event<K>> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vt_arithmetic() {
+        let t = Vt::from_ns(100);
+        assert_eq!(t.ns(), 100);
+        assert_eq!(t.after(Duration::from_nanos(20)).ns(), 120);
+        assert_eq!(t.after_ns(u64::MAX).ns(), u64::MAX);
+        assert_eq!(Vt::ZERO.as_duration(), Duration::ZERO);
+        assert!(Vt::from_ns(1) > Vt::ZERO);
+    }
+
+    #[test]
+    fn events_pop_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(Vt::from_ns(30), "c");
+        q.push(Vt::from_ns(10), "a1");
+        q.push(Vt::from_ns(10), "a2");
+        q.push(Vt::from_ns(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.kind)).collect();
+        assert_eq!(order, ["a1", "a2", "b", "c"]);
+    }
+
+    #[test]
+    fn pop_if_before_is_strict() {
+        let mut q = EventQueue::new();
+        q.push(Vt::from_ns(10), 1u32);
+        q.push(Vt::from_ns(20), 2u32);
+        assert_eq!(q.peek_at(), Some(Vt::from_ns(10)));
+        assert!(q.pop_if_before(Vt::from_ns(10)).is_none());
+        let e = q.pop_if_before(Vt::from_ns(11)).expect("10 < 11");
+        assert_eq!((e.at, e.kind), (Vt::from_ns(10), 1));
+        assert!(q.pop_if_before(Vt::from_ns(20)).is_none());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop().unwrap().kind, 2);
+        assert!(q.is_empty());
+    }
+}

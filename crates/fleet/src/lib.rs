@@ -20,15 +20,25 @@
 //! claim: the partial fleet serves the same request stream with a small
 //! fraction of the configuration traffic.
 
+pub mod clock;
 pub mod library;
 pub mod metrics;
+pub mod sched;
 pub mod service;
+pub mod sim;
 pub mod store;
+pub mod trace;
 
+pub use clock::Vt;
 pub use library::{RegionCatalog, ServingLibrary, VariantSlot};
 pub use metrics::{Counter, FleetMetrics, Gauge, Histogram};
-pub use service::{Fleet, FleetConfig, FleetReport, Request, Response, ServeMode};
+pub use sched::{
+    Backend, Outcome, OutcomeKind, Priority, Resident, SchedConfig, ServeMode, SimRequest,
+};
+pub use service::{Fleet, FleetConfig, FleetReport, Request, Response};
+pub use sim::{simulate, simulate_trace, FleetSimSpec, SimReport};
 pub use store::{PartialKey, PartialStore, StoredPartial};
+pub use trace::TraceSpec;
 
 /// Errors the service surfaces to callers.
 #[derive(Debug, Clone, PartialEq, Eq)]

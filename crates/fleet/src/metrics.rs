@@ -47,9 +47,21 @@ pub struct FleetMetrics {
     pub store_hits: Arc<Counter>,
     /// Store lookups that had to generate.
     pub store_misses: Arc<Counter>,
-    /// Requests served without any download (variant already resident).
+    /// Requests served without a dedicated download: the variant was
+    /// already resident, or the request rode a coalesced in-flight
+    /// download for the same `(region, variant)`.
     pub resident_hits: Arc<Counter>,
-    /// Live queue depth and its high-water mark.
+    /// Requests that attached to an in-flight download for the same
+    /// `(region, variant)` instead of issuing their own.
+    pub coalesced: Arc<Counter>,
+    /// Requests refused at admission because the shard queue was full.
+    pub rejected: Arc<Counter>,
+    /// Low-priority requests dropped at admission past the shed
+    /// watermark.
+    pub shed: Arc<Counter>,
+    /// Queued requests migrated between shards at a rebalance barrier.
+    pub stolen: Arc<Counter>,
+    /// Queue depth high-water mark (peak per-shard backlog).
     pub queue_depth: Arc<Gauge>,
     /// Simulated port time per download attempt.
     pub download_latency: Arc<Histogram>,
@@ -58,6 +70,9 @@ pub struct FleetMetrics {
     /// Simulated end-to-end port time per request (download + verify +
     /// retries + backoff).
     pub request_latency: Arc<Histogram>,
+    /// Virtual arrival-to-completion latency per request (queue wait +
+    /// downloads + retries), on the wide scheduler buckets.
+    pub e2e_latency: Arc<Histogram>,
 }
 
 impl Default for FleetMetrics {
@@ -90,6 +105,10 @@ impl FleetMetrics {
             store_hits: c("fleet_store_hits_total"),
             store_misses: c("fleet_store_misses_total"),
             resident_hits: c("fleet_resident_hits_total"),
+            coalesced: c("fleet_coalesced_total"),
+            rejected: c("fleet_rejected_total"),
+            shed: c("fleet_shed_total"),
+            stolen: c("fleet_stolen_total"),
             queue_depth: registry.gauge("fleet_queue_depth", &[]),
             download_latency: registry.histogram_with(
                 "fleet_download_latency_us",
@@ -106,8 +125,27 @@ impl FleetMetrics {
                 &[],
                 &obs::presets::SELECTMAP_LATENCY_US,
             ),
+            e2e_latency: registry.histogram_with(
+                "fleet_e2e_latency_us",
+                &[],
+                &obs::presets::FLEET_VIRTUAL_US,
+            ),
             registry,
         }
+    }
+
+    /// Fold one shard's per-run tallies into shard-labelled counters.
+    ///
+    /// Label cardinality is O(shards), never O(boards): a 10k-board
+    /// fleet behind 64 shards registers 64 label sets, not 10 000.
+    pub fn record_shard(&self, shard: usize, requests: u64, busy_us: u64) {
+        let label = shard.to_string();
+        self.registry
+            .counter("fleet_shard_requests_total", &[("shard", label.as_str())])
+            .add(requests);
+        self.registry
+            .counter("fleet_shard_busy_us_total", &[("shard", label.as_str())])
+            .add(busy_us);
     }
 
     /// The registry holding this fleet's instruments; snapshot it to
@@ -221,9 +259,26 @@ mod tests {
         assert!(snap.has_metric("fleet_queue_depth"));
         assert!(snap.has_metric("fleet_download_latency_us"));
         // Every instrument is registered up front, zeroed or not.
-        assert_eq!(snap.samples.len(), 15);
+        assert_eq!(snap.samples.len(), 20);
         // Two fleets never share numbers.
         let other = FleetMetrics::new();
         assert_eq!(other.downloads.get(), 0);
+    }
+
+    #[test]
+    fn shard_labels_scale_with_shards_not_boards() {
+        let m = FleetMetrics::new();
+        let base = m.registry().snapshot().samples.len();
+        for shard in 0..4 {
+            m.record_shard(shard, 100, 5_000);
+        }
+        let after = m.registry().snapshot().samples.len();
+        assert_eq!(after, base + 8, "two labelled counters per shard");
+        // Re-recording the same shards (another run) must not mint new
+        // label sets — counters accumulate instead.
+        for shard in 0..4 {
+            m.record_shard(shard, 1, 1);
+        }
+        assert_eq!(m.registry().snapshot().samples.len(), after);
     }
 }

@@ -1,0 +1,1432 @@
+//! The sharded event-driven scheduler: a small worker pool multiplexing
+//! thousands of simulated boards over a discrete-event virtual clock.
+//!
+//! ## Why not a thread per board
+//!
+//! The original `Fleet` ran one OS thread per board, which caps a
+//! single host at a few hundred boards and makes every schedule a race:
+//! two runs of the same request stream could pick different boards,
+//! different retry interleavings, different store-hit winners. This
+//! module replaces it with discrete-event simulation. Boards are
+//! partitioned round-robin into **shards**; each shard owns an event
+//! heap ([`crate::clock::EventQueue`]), its boards' residency state,
+//! three priority-class run queues, and a coalescing index. A shard is
+//! strictly sequential — events pop in `(virtual time, insertion seq)`
+//! order — so everything a shard does is a pure function of its inputs.
+//!
+//! ## Deterministic parallelism
+//!
+//! Wall-clock parallelism comes from *windowed* execution: the driver
+//! finds the earliest pending event across all shards, opens a window
+//! `[next, next + window)`, and hands every shard with work in that
+//! window to a worker pool. Shards never touch each other's state, so
+//! which worker runs which shard (and in what wall order) cannot change
+//! any virtual outcome — running with 1, 2, or 8 workers produces
+//! byte-identical event logs. Between windows the driver runs a
+//! **sequential rebalance**: shards with queued work donate requests to
+//! shards with idle boards (virtual-time work stealing). Because the
+//! barrier is sequential and its inputs are deterministic shard states,
+//! stealing is deterministic too.
+//!
+//! ## Serving semantics
+//!
+//! Per request, in arrival order per shard: resolve against the store →
+//! zero-cost fast path if an idle board already holds the variant
+//! verified → **coalesce** onto an in-flight download of the same
+//! `(region, variant)` → dispatch to an idle board (preferring one
+//! whose region still holds base content, where the small incremental
+//! partial suffices) → otherwise queue under admission control (bounded
+//! queue ⇒ typed [`OutcomeKind::Rejected`]; low-priority shed past a
+//! watermark ⇒ [`OutcomeKind::Shed`]). Downloads retry with exponential
+//! backoff exactly like the original service, and every attempt is
+//! verified by (simulated) region readback compare.
+//!
+//! The scheduler is generic over a [`Backend`]: the real one drives
+//! `SimBoard`s through XHWIF (see `service.rs`), the model one
+//! ([`crate::sim`]) costs requests purely from byte counts so that 10k
+//! boards × 1M requests fit in seconds of wall clock.
+
+use crate::clock::{EventQueue, Vt};
+use crate::metrics::FleetMetrics;
+use crate::FleetError;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Which bitstream the fleet downloads per swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Partial bitstreams from the store (the JPG flow): incremental
+    /// when the region still holds base content, wholesale otherwise.
+    Partial,
+    /// A complete bitstream per swap (the conventional-flow baseline the
+    /// paper argues against).
+    FullSwap,
+}
+
+/// Admission priority class of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Served before everything else in the queue.
+    High,
+    /// The default class.
+    Normal,
+    /// First to shed under load.
+    Low,
+}
+
+impl Priority {
+    /// Queue index: 0 drains first.
+    pub fn class(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// One request in the virtual-time domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimRequest {
+    /// Caller-assigned identity, echoed in the outcome.
+    pub id: u64,
+    /// Virtual arrival instant.
+    pub at: Vt,
+    /// Region index.
+    pub region: u32,
+    /// Variant index within the region.
+    pub variant: u32,
+    /// Admission class.
+    pub priority: Priority,
+    /// Opaque payload handed to [`Backend::finish`] (the real backend
+    /// uses it to index the caller's pad-drive list).
+    pub payload: u32,
+}
+
+/// What the store resolution step learned about a request's artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolved {
+    /// Whether the store already held the generated bitstreams.
+    pub store_hit: bool,
+    /// Identity of the generated artifact; every request coalesced onto
+    /// one download observes the same generation.
+    pub generation: u64,
+    /// Incremental-partial bytes (base-resident region).
+    pub bytes_incremental: u64,
+    /// Wholesale-partial bytes (overwrites any resident content).
+    pub bytes_wholesale: u64,
+    /// Complete-bitstream bytes (the FullSwap baseline).
+    pub bytes_full: u64,
+    /// Region-scoped readback reply bytes for one verification pass.
+    pub bytes_verify: u64,
+}
+
+/// Which bitstream flavor one download attempt pushes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// Small partial against base content (first attempt only).
+    Incremental,
+    /// Self-sufficient partial that overwrites any resident state.
+    Wholesale,
+    /// Complete bitstream.
+    Full,
+}
+
+/// How one download attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DownloadStatus {
+    /// Downloaded and readback-verified.
+    Verified,
+    /// The configuration port faulted mid-transfer.
+    PortFault(String),
+    /// The download completed but readback comparison mismatched (or
+    /// the readback itself failed — distinguished by
+    /// [`DownloadResult::readback_bytes`] being zero).
+    VerifyMismatch,
+}
+
+/// The cost and result of one download attempt.
+#[derive(Debug, Clone)]
+pub struct DownloadResult {
+    /// Attempt outcome.
+    pub status: DownloadStatus,
+    /// Configuration bytes pushed.
+    pub bytes: u64,
+    /// Simulated port time of the push, nanoseconds.
+    pub download_ns: u64,
+    /// Simulated port time of the verification readback, nanoseconds.
+    pub verify_ns: u64,
+    /// Readback reply bytes (zero when no readback happened).
+    pub readback_bytes: u64,
+}
+
+/// What a board's region currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resident {
+    /// Base content (fresh board or after rebase).
+    Base,
+    /// A verified variant.
+    Variant(u32),
+    /// A failed or unverified download landed here.
+    Unknown,
+}
+
+/// How a request concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Served and verified.
+    Served {
+        /// No download at all: the variant was already resident on an
+        /// idle board.
+        resident: bool,
+        /// Rode another request's in-flight download of the same key.
+        coalesced: bool,
+    },
+    /// Exhausted its retry budget or failed resolution.
+    Failed,
+    /// Refused at admission: the shard queue was full.
+    Rejected,
+    /// Dropped at admission: low priority past the shed watermark.
+    Shed,
+}
+
+/// The complete per-request record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Request identity.
+    pub id: u64,
+    /// Request payload, echoed.
+    pub payload: u32,
+    /// Region requested.
+    pub region: u32,
+    /// Variant requested.
+    pub variant: u32,
+    /// Admission class.
+    pub priority: Priority,
+    /// How it concluded.
+    pub kind: OutcomeKind,
+    /// Global board index that served it, if any board was involved.
+    pub board: Option<u32>,
+    /// Download attempts spent (0 for resident/coalesced service).
+    pub attempts: u32,
+    /// Whether the store already held the bitstreams at resolution.
+    pub store_hit: bool,
+    /// Configuration bytes pushed for this request.
+    pub bytes: u64,
+    /// Simulated port time consumed (downloads + readbacks + backoff).
+    pub port_ns: u64,
+    /// Store generation observed (all coalesced riders see the same).
+    pub generation: u64,
+    /// Virtual arrival instant.
+    pub arrived: Vt,
+    /// Virtual instant service began (download start; equals
+    /// `completed` for zero-cost service).
+    pub started: Vt,
+    /// Virtual completion instant.
+    pub completed: Vt,
+    /// Pad outputs from [`Backend::finish`].
+    pub outputs: Vec<(String, bool)>,
+    /// Failure detail for non-served outcomes.
+    pub error: Option<String>,
+}
+
+impl Outcome {
+    /// Whether the request was served (any [`OutcomeKind::Served`]).
+    pub fn served(&self) -> bool {
+        matches!(self.kind, OutcomeKind::Served { .. })
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Download flavor.
+    pub mode: ServeMode,
+    /// Download attempts per request before giving up.
+    pub max_attempts: u32,
+    /// First retry backoff (virtual port idle time); doubles per
+    /// subsequent retry.
+    pub backoff: Duration,
+    /// Number of shards (clamped to the board count). Shard count — not
+    /// worker count — fixes the virtual schedule, so results never
+    /// depend on how many threads happen to run.
+    pub shards: usize,
+    /// Worker threads (0 = available parallelism), capped at the shard
+    /// count. Changes wall time only, never virtual results.
+    pub workers: usize,
+    /// Virtual width of one parallel execution window.
+    pub window: Duration,
+    /// Per-shard admission queue bound; arrivals past it are
+    /// [`OutcomeKind::Rejected`].
+    pub queue_cap: usize,
+    /// Per-shard backlog at which [`Priority::Low`] arrivals are
+    /// [`OutcomeKind::Shed`].
+    pub shed_watermark: usize,
+    /// Whether same-key requests coalesce onto in-flight downloads.
+    pub coalesce: bool,
+    /// Whether to record the per-event log (golden-trace fixtures).
+    pub log_events: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            mode: ServeMode::Partial,
+            max_attempts: 16,
+            backoff: Duration::from_micros(20),
+            shards: 8,
+            workers: 0,
+            window: Duration::from_micros(20),
+            queue_cap: usize::MAX,
+            shed_watermark: usize::MAX,
+            coalesce: true,
+            log_events: false,
+        }
+    }
+}
+
+/// What the scheduler needs from a board-and-store implementation.
+///
+/// The scheduler owns all timing, retry, residency, coalescing and
+/// admission logic; the backend only resolves artifacts, prices/performs
+/// downloads, and produces a request's functional outputs.
+pub trait Backend: Sync {
+    /// Resolved bitstream artifact handed back to every download.
+    type Artifact: Clone + Send;
+    /// Per-board state (the real backend keeps a `SimBoard` here).
+    type Board: Send;
+
+    /// Resolve a request against the store. `Err` is a terminal
+    /// bad-request failure (no board involved).
+    fn resolve(&self, req: &SimRequest) -> Result<(Self::Artifact, Resolved), String>;
+
+    /// Perform one download attempt of `flavor` on `board` and price it
+    /// in virtual port time, verification included.
+    fn download(
+        &self,
+        board: &mut Self::Board,
+        global: u32,
+        art: &Self::Artifact,
+        flavor: Flavor,
+        res: &Resolved,
+    ) -> DownloadResult;
+
+    /// Produce the request's functional outputs on a board whose region
+    /// verifiably runs the variant (drive pads, clock, sample).
+    fn finish(&self, board: &mut Self::Board, region: u32, payload: u32) -> Vec<(String, bool)>;
+}
+
+/// Everything the driver returns.
+pub struct RunOutput<B: Backend> {
+    /// Per-request outcomes, sorted by `(id, payload)`.
+    pub outcomes: Vec<Outcome>,
+    /// Board states, in global board order (for reuse across runs).
+    pub states: Vec<B::Board>,
+    /// Residency per board per region, in global board order.
+    pub resident: Vec<Vec<Resident>>,
+    /// Per-board simulated port busy time this run, nanoseconds.
+    pub busy_ns: Vec<u64>,
+    /// Latest virtual instant any shard processed.
+    pub completed: Vt,
+    /// Requests migrated between shards at rebalance barriers.
+    pub stolen: u64,
+    /// Merged event log (empty unless `log_events`).
+    pub event_log: Vec<String>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrive(SimRequest),
+    Complete { board: u32 },
+    Kick,
+}
+
+struct Queued<B: Backend> {
+    req: SimRequest,
+    art: B::Artifact,
+    res: Resolved,
+}
+
+struct Job<B: Backend> {
+    main: Queued<B>,
+    riders: Vec<Queued<B>>,
+    attempts: u32,
+    bytes: u64,
+    port_ns: u64,
+    started: Vt,
+    last_status: DownloadStatus,
+}
+
+struct BoardCore<B: Backend> {
+    state: B::Board,
+    resident: Vec<Resident>,
+    job: Option<Job<B>>,
+    busy_ns: u64,
+}
+
+struct Shard<B: Backend> {
+    id: usize,
+    nshards: usize,
+    cfg: SchedConfig,
+    backoff_ns: u64,
+    boards: Vec<BoardCore<B>>,
+    events: EventQueue<Ev>,
+    now: Vt,
+    queues: [VecDeque<Queued<B>>; 3],
+    queued: usize,
+    queue_high: usize,
+    inflight: HashMap<(u32, u32), u32>,
+    idle: BTreeSet<u32>,
+    idle_exact: HashMap<(u32, u32), BTreeSet<u32>>,
+    idle_base: HashMap<u32, BTreeSet<u32>>,
+    outcomes: Vec<Outcome>,
+    log: Vec<(u64, u64, String)>,
+}
+
+/// Bounded queue scan depth for the resident-exact fast path — keeps
+/// drain cost O(1) per dispatch even against an arbitrarily deep queue.
+const RESIDENT_SCAN: usize = 32;
+
+/// Append to the shard event log without paying the format cost when
+/// logging is off (the 1M-request hot path).
+macro_rules! shlog {
+    ($s:expr, $($t:tt)*) => {
+        if $s.cfg.log_events {
+            $s.logf(format!($($t)*));
+        }
+    };
+}
+
+impl<B: Backend> Shard<B> {
+    fn global(&self, local: u32) -> u32 {
+        (self.id + local as usize * self.nshards) as u32
+    }
+
+    fn logf(&mut self, text: String) {
+        let seq = self.log.len() as u64;
+        self.log.push((self.now.ns(), seq, text));
+    }
+
+    /// Re-file a board in the idle indexes (call when it has no job).
+    fn index_insert(&mut self, b: u32) {
+        self.idle.insert(b);
+        let core = &self.boards[b as usize];
+        match self.cfg.mode {
+            ServeMode::Partial => {
+                for (r, res) in core.resident.iter().enumerate() {
+                    match *res {
+                        Resident::Variant(v) => {
+                            self.idle_exact.entry((r as u32, v)).or_default().insert(b);
+                        }
+                        Resident::Base => {
+                            self.idle_base.entry(r as u32).or_default().insert(b);
+                        }
+                        Resident::Unknown => {}
+                    }
+                }
+            }
+            ServeMode::FullSwap => {
+                if let Some(key) = fullswap_key(&core.resident) {
+                    self.idle_exact.entry(key).or_default().insert(b);
+                }
+            }
+        }
+    }
+
+    fn index_remove(&mut self, b: u32) {
+        self.idle.remove(&b);
+        let core = &self.boards[b as usize];
+        match self.cfg.mode {
+            ServeMode::Partial => {
+                for (r, res) in core.resident.iter().enumerate() {
+                    match *res {
+                        Resident::Variant(v) => {
+                            if let Some(s) = self.idle_exact.get_mut(&(r as u32, v)) {
+                                s.remove(&b);
+                            }
+                        }
+                        Resident::Base => {
+                            if let Some(s) = self.idle_base.get_mut(&(r as u32)) {
+                                s.remove(&b);
+                            }
+                        }
+                        Resident::Unknown => {}
+                    }
+                }
+            }
+            ServeMode::FullSwap => {
+                if let Some(key) = fullswap_key(&self.boards[b as usize].resident) {
+                    if let Some(s) = self.idle_exact.get_mut(&key) {
+                        s.remove(&b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Idle board to start a download on: prefer one whose region still
+    /// holds base content (the incremental partial is smaller), lowest
+    /// index among candidates for determinism.
+    fn pick_idle(&self, region: u32) -> Option<u32> {
+        if self.cfg.mode == ServeMode::Partial {
+            if let Some(&b) = self.idle_base.get(&region).and_then(|s| s.first()) {
+                return Some(b);
+            }
+        }
+        self.idle.first().copied()
+    }
+
+    fn run_until(&mut self, backend: &B, m: &FleetMetrics, end: Vt) {
+        while let Some(ev) = self.events.pop_if_before(end) {
+            self.now = ev.at;
+            match ev.kind {
+                Ev::Arrive(req) => self.on_arrive(backend, m, req),
+                Ev::Complete { board } => self.on_complete(backend, m, board),
+                Ev::Kick => self.drain(backend, m),
+            }
+        }
+    }
+
+    fn on_arrive(&mut self, backend: &B, m: &FleetMetrics, req: SimRequest) {
+        m.requests_enqueued.inc();
+        let (art, res) = match backend.resolve(&req) {
+            Ok(x) => x,
+            Err(e) => {
+                m.requests_failed.inc();
+                m.request_latency.record(Duration::ZERO);
+                m.e2e_latency.record(Duration::ZERO);
+                shlog!(self, "fail id={} error={e:?}", req.id);
+                self.outcomes
+                    .push(terminal(&req, OutcomeKind::Failed, self.now, Some(e)));
+                return;
+            }
+        };
+        if res.store_hit {
+            m.store_hits.inc();
+        } else {
+            m.store_misses.inc();
+        }
+        shlog!(
+            self,
+            "arrive id={} key={}/{} prio={:?}",
+            req.id,
+            req.region,
+            req.variant,
+            req.priority
+        );
+        let q = Queued { req, art, res };
+        self.admit(backend, m, q);
+    }
+
+    /// Route one resolved request: fast path → rider → dispatch → queue.
+    fn admit(&mut self, backend: &B, m: &FleetMetrics, q: Queued<B>) {
+        let key = (q.req.region, q.req.variant);
+        if let Some(&b) = self.idle_exact.get(&key).and_then(|s| s.first()) {
+            self.serve_resident(backend, m, b, q);
+            return;
+        }
+        if self.cfg.coalesce {
+            if let Some(&b) = self.inflight.get(&key) {
+                m.coalesced.inc();
+                shlog!(self, "rider id={} board={}", q.req.id, self.global(b));
+                self.boards[b as usize]
+                    .job
+                    .as_mut()
+                    .expect("inflight board has a job")
+                    .riders
+                    .push(q);
+                return;
+            }
+        }
+        if let Some(b) = self.pick_idle(q.req.region) {
+            self.start_job(backend, m, b, q);
+            return;
+        }
+        if self.queued >= self.cfg.queue_cap {
+            m.rejected.inc();
+            shlog!(self, "reject id={}", q.req.id);
+            self.outcomes.push(terminal(
+                &q.req,
+                OutcomeKind::Rejected,
+                self.now,
+                Some(format!("queue full (cap {})", self.cfg.queue_cap)),
+            ));
+            return;
+        }
+        if q.req.priority == Priority::Low && self.queued >= self.cfg.shed_watermark {
+            m.shed.inc();
+            shlog!(self, "shed id={}", q.req.id);
+            self.outcomes.push(terminal(
+                &q.req,
+                OutcomeKind::Shed,
+                self.now,
+                Some(format!(
+                    "shed under load (watermark {})",
+                    self.cfg.shed_watermark
+                )),
+            ));
+            return;
+        }
+        self.queues[q.req.priority.class()].push_back(q);
+        self.queued += 1;
+        self.queue_high = self.queue_high.max(self.queued);
+    }
+
+    /// Zero-traffic service on an idle board that already runs the
+    /// variant verified. The board stays idle.
+    fn serve_resident(&mut self, backend: &B, m: &FleetMetrics, b: u32, q: Queued<B>) {
+        let global = self.global(b);
+        let outputs = backend.finish(
+            &mut self.boards[b as usize].state,
+            q.req.region,
+            q.req.payload,
+        );
+        m.resident_hits.inc();
+        m.requests_served.inc();
+        m.request_latency.record(Duration::ZERO);
+        m.e2e_latency
+            .record(Duration::from_nanos(self.now.ns() - q.req.at.ns()));
+        shlog!(self, "resident id={} board={global}", q.req.id);
+        self.outcomes.push(Outcome {
+            id: q.req.id,
+            payload: q.req.payload,
+            region: q.req.region,
+            variant: q.req.variant,
+            priority: q.req.priority,
+            kind: OutcomeKind::Served {
+                resident: true,
+                coalesced: false,
+            },
+            board: Some(global),
+            attempts: 0,
+            store_hit: q.res.store_hit,
+            bytes: 0,
+            port_ns: 0,
+            generation: q.res.generation,
+            arrived: q.req.at,
+            started: self.now,
+            completed: self.now,
+            outputs,
+            error: None,
+        });
+    }
+
+    fn start_job(&mut self, backend: &B, m: &FleetMetrics, b: u32, q: Queued<B>) {
+        let key = (q.req.region, q.req.variant);
+        self.index_remove(b);
+        self.inflight.insert(key, b);
+        // Sweep queued same-key requests into the rider list: they ride
+        // this download instead of waiting for their own board.
+        let mut riders = Vec::new();
+        if self.cfg.coalesce {
+            for class in 0..3 {
+                let mut kept = VecDeque::with_capacity(self.queues[class].len());
+                while let Some(x) = self.queues[class].pop_front() {
+                    if (x.req.region, x.req.variant) == key {
+                        m.coalesced.inc();
+                        self.queued -= 1;
+                        riders.push(x);
+                    } else {
+                        kept.push_back(x);
+                    }
+                }
+                self.queues[class] = kept;
+            }
+        }
+        shlog!(
+            self,
+            "dispatch id={} board={} riders={}",
+            q.req.id,
+            self.global(b),
+            riders.len()
+        );
+        self.boards[b as usize].job = Some(Job {
+            main: q,
+            riders,
+            attempts: 0,
+            bytes: 0,
+            port_ns: 0,
+            started: self.now,
+            last_status: DownloadStatus::Verified,
+        });
+        self.begin_attempt(backend, m, b);
+    }
+
+    fn begin_attempt(&mut self, backend: &B, m: &FleetMetrics, b: u32) {
+        let global = self.global(b);
+        let core = &mut self.boards[b as usize];
+        let job = core.job.as_mut().expect("attempt on an idle board");
+        job.attempts += 1;
+        let pause_ns = if job.attempts > 1 {
+            self.backoff_ns << (job.attempts - 2).min(10)
+        } else {
+            0
+        };
+        let region = job.main.req.region;
+        let flavor = match self.cfg.mode {
+            ServeMode::FullSwap => Flavor::Full,
+            ServeMode::Partial => {
+                if job.attempts == 1 && core.resident[region as usize] == Resident::Base {
+                    Flavor::Incremental
+                } else {
+                    Flavor::Wholesale
+                }
+            }
+        };
+        // Any write leaves the region (or, for a full swap, the whole
+        // board) in an unknown state until verified.
+        match self.cfg.mode {
+            ServeMode::Partial => core.resident[region as usize] = Resident::Unknown,
+            ServeMode::FullSwap => core.resident.fill(Resident::Unknown),
+        }
+        let r = backend.download(
+            &mut core.state,
+            global,
+            &job.main.art,
+            flavor,
+            &job.main.res,
+        );
+        job.bytes += r.bytes;
+        job.port_ns += pause_ns + r.download_ns + r.verify_ns;
+        m.downloads.inc();
+        m.download_bytes.add(r.bytes);
+        m.download_latency
+            .record(Duration::from_nanos(r.download_ns));
+        if r.readback_bytes > 0 {
+            m.readback_bytes.add(r.readback_bytes);
+            m.verify_latency.record(Duration::from_nanos(r.verify_ns));
+            if r.status == DownloadStatus::VerifyMismatch {
+                m.verify_failures.inc();
+            }
+        }
+        let due = self.now.after_ns(pause_ns + r.download_ns + r.verify_ns);
+        let id = job.main.req.id;
+        let attempt = job.attempts;
+        let bytes = r.bytes;
+        job.last_status = r.status;
+        shlog!(
+            self,
+            "attempt id={id} board={global} n={attempt} flavor={flavor:?} bytes={bytes}"
+        );
+        self.events.push(due, Ev::Complete { board: b });
+    }
+
+    fn on_complete(&mut self, backend: &B, m: &FleetMetrics, b: u32) {
+        let global = self.global(b);
+        let core = &mut self.boards[b as usize];
+        let status = core
+            .job
+            .as_ref()
+            .expect("completion on an idle board")
+            .last_status
+            .clone();
+        match status {
+            DownloadStatus::Verified => {
+                let job = core.job.take().expect("checked above");
+                let region = job.main.req.region;
+                let variant = job.main.req.variant;
+                core.resident[region as usize] = Resident::Variant(variant);
+                if self.cfg.mode == ServeMode::FullSwap {
+                    for (r, res) in core.resident.iter_mut().enumerate() {
+                        if r != region as usize {
+                            *res = Resident::Base;
+                        }
+                    }
+                }
+                core.busy_ns += job.port_ns;
+                self.inflight.remove(&(region, variant));
+                shlog!(
+                    self,
+                    "complete id={} board={global} attempts={} ok riders={}",
+                    job.main.req.id,
+                    job.attempts,
+                    job.riders.len()
+                );
+                self.emit_served(backend, m, b, global, &job);
+                for rider in &job.riders {
+                    self.emit_rider(backend, m, b, global, rider, &job);
+                }
+                self.index_insert(b);
+                self.drain(backend, m);
+            }
+            DownloadStatus::PortFault(_) | DownloadStatus::VerifyMismatch => {
+                m.retries.inc();
+                let exhausted =
+                    core.job.as_ref().expect("checked above").attempts >= self.cfg.max_attempts;
+                if !exhausted {
+                    self.begin_attempt(backend, m, b);
+                    return;
+                }
+                let job = core.job.take().expect("checked above");
+                core.busy_ns += job.port_ns;
+                self.inflight
+                    .remove(&(job.main.req.region, job.main.req.variant));
+                let last = match &status {
+                    DownloadStatus::PortFault(e) => e.clone(),
+                    _ => "readback verification mismatch".to_string(),
+                };
+                let msg = FleetError::Exhausted {
+                    attempts: job.attempts,
+                    last,
+                }
+                .to_string();
+                shlog!(
+                    self,
+                    "exhausted id={} board={global} attempts={}",
+                    job.main.req.id,
+                    job.attempts
+                );
+                m.requests_failed.inc();
+                m.request_latency.record(Duration::from_nanos(job.port_ns));
+                m.e2e_latency
+                    .record(Duration::from_nanos(self.now.ns() - job.main.req.at.ns()));
+                self.outcomes.push(Outcome {
+                    id: job.main.req.id,
+                    payload: job.main.req.payload,
+                    region: job.main.req.region,
+                    variant: job.main.req.variant,
+                    priority: job.main.req.priority,
+                    kind: OutcomeKind::Failed,
+                    board: Some(global),
+                    attempts: job.attempts,
+                    store_hit: job.main.res.store_hit,
+                    bytes: job.bytes,
+                    port_ns: job.port_ns,
+                    generation: job.main.res.generation,
+                    arrived: job.main.req.at,
+                    started: job.started,
+                    completed: self.now,
+                    outputs: Vec::new(),
+                    error: Some(msg.clone()),
+                });
+                for rider in &job.riders {
+                    m.requests_failed.inc();
+                    m.request_latency.record(Duration::ZERO);
+                    m.e2e_latency
+                        .record(Duration::from_nanos(self.now.ns() - rider.req.at.ns()));
+                    self.outcomes.push(Outcome {
+                        id: rider.req.id,
+                        payload: rider.req.payload,
+                        region: rider.req.region,
+                        variant: rider.req.variant,
+                        priority: rider.req.priority,
+                        kind: OutcomeKind::Failed,
+                        board: Some(global),
+                        attempts: 0,
+                        store_hit: rider.res.store_hit,
+                        bytes: 0,
+                        port_ns: 0,
+                        generation: rider.res.generation,
+                        arrived: rider.req.at,
+                        started: self.now,
+                        completed: self.now,
+                        outputs: Vec::new(),
+                        error: Some(msg.clone()),
+                    });
+                }
+                self.index_insert(b);
+                self.drain(backend, m);
+            }
+        }
+    }
+
+    fn emit_served(&mut self, backend: &B, m: &FleetMetrics, b: u32, global: u32, job: &Job<B>) {
+        let outputs = backend.finish(
+            &mut self.boards[b as usize].state,
+            job.main.req.region,
+            job.main.req.payload,
+        );
+        m.requests_served.inc();
+        m.request_latency.record(Duration::from_nanos(job.port_ns));
+        m.e2e_latency
+            .record(Duration::from_nanos(self.now.ns() - job.main.req.at.ns()));
+        self.outcomes.push(Outcome {
+            id: job.main.req.id,
+            payload: job.main.req.payload,
+            region: job.main.req.region,
+            variant: job.main.req.variant,
+            priority: job.main.req.priority,
+            kind: OutcomeKind::Served {
+                resident: false,
+                coalesced: false,
+            },
+            board: Some(global),
+            attempts: job.attempts,
+            store_hit: job.main.res.store_hit,
+            bytes: job.bytes,
+            port_ns: job.port_ns,
+            generation: job.main.res.generation,
+            arrived: job.main.req.at,
+            started: job.started,
+            completed: self.now,
+            outputs,
+            error: None,
+        });
+    }
+
+    fn emit_rider(
+        &mut self,
+        backend: &B,
+        m: &FleetMetrics,
+        b: u32,
+        global: u32,
+        rider: &Queued<B>,
+        job: &Job<B>,
+    ) {
+        let outputs = backend.finish(
+            &mut self.boards[b as usize].state,
+            rider.req.region,
+            rider.req.payload,
+        );
+        m.resident_hits.inc();
+        m.requests_served.inc();
+        m.request_latency.record(Duration::ZERO);
+        m.e2e_latency
+            .record(Duration::from_nanos(self.now.ns() - rider.req.at.ns()));
+        self.outcomes.push(Outcome {
+            id: rider.req.id,
+            payload: rider.req.payload,
+            region: rider.req.region,
+            variant: rider.req.variant,
+            priority: rider.req.priority,
+            kind: OutcomeKind::Served {
+                resident: false,
+                coalesced: true,
+            },
+            board: Some(global),
+            attempts: 0,
+            store_hit: rider.res.store_hit,
+            bytes: 0,
+            port_ns: 0,
+            generation: job.main.res.generation,
+            arrived: rider.req.at,
+            started: self.now,
+            completed: self.now,
+            outputs,
+            error: None,
+        });
+    }
+
+    /// Dispatch queued work onto idle boards until one side runs out.
+    fn drain(&mut self, backend: &B, m: &FleetMetrics) {
+        while self.queued > 0 && !self.idle.is_empty() {
+            if let Some((class, pos, b)) = self.find_resident_match() {
+                let q = self.queues[class].remove(pos).expect("scanned position");
+                self.queued -= 1;
+                self.serve_resident(backend, m, b, q);
+                continue;
+            }
+            let class = (0..3)
+                .find(|&c| !self.queues[c].is_empty())
+                .expect("queued > 0");
+            let q = self.queues[class].pop_front().expect("non-empty class");
+            self.queued -= 1;
+            let key = (q.req.region, q.req.variant);
+            if self.cfg.coalesce {
+                if let Some(&ib) = self.inflight.get(&key) {
+                    m.coalesced.inc();
+                    shlog!(self, "rider id={} board={}", q.req.id, self.global(ib));
+                    self.boards[ib as usize]
+                        .job
+                        .as_mut()
+                        .expect("inflight board has a job")
+                        .riders
+                        .push(q);
+                    continue;
+                }
+            }
+            let b = self.pick_idle(q.req.region).expect("idle non-empty");
+            self.start_job(backend, m, b, q);
+        }
+    }
+
+    /// Bounded scan of the queue heads for a request whose exact
+    /// variant sits verified on an idle board right now.
+    fn find_resident_match(&self) -> Option<(usize, usize, u32)> {
+        for class in 0..3 {
+            for (pos, q) in self.queues[class].iter().take(RESIDENT_SCAN).enumerate() {
+                let key = (q.req.region, q.req.variant);
+                if let Some(&b) = self.idle_exact.get(&key).and_then(|s| s.first()) {
+                    return Some((class, pos, b));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A terminal (no-board) outcome: resolution failure, rejection, shed.
+fn terminal(req: &SimRequest, kind: OutcomeKind, now: Vt, error: Option<String>) -> Outcome {
+    Outcome {
+        id: req.id,
+        payload: req.payload,
+        region: req.region,
+        variant: req.variant,
+        priority: req.priority,
+        kind,
+        board: None,
+        attempts: 0,
+        store_hit: false,
+        bytes: 0,
+        port_ns: 0,
+        generation: 0,
+        arrived: req.at,
+        started: now,
+        completed: now,
+        outputs: Vec::new(),
+        error,
+    }
+}
+
+/// The FullSwap resident-exact key: exactly one region holds a variant
+/// and every other region holds base content.
+fn fullswap_key(resident: &[Resident]) -> Option<(u32, u32)> {
+    let mut key = None;
+    for (r, res) in resident.iter().enumerate() {
+        match *res {
+            Resident::Base => {}
+            Resident::Variant(v) if key.is_none() => key = Some((r as u32, v)),
+            _ => return None,
+        }
+    }
+    key
+}
+
+/// Sequential inter-window rebalance: shards with queued work donate
+/// requests to shards with spare idle boards. Runs at the window
+/// barrier with every shard quiescent, so it is deterministic by
+/// construction — wall-clock work stealing (workers pulling whole-shard
+/// tasks) never touches virtual state.
+fn rebalance<B: Backend>(shards: &mut [Mutex<Shard<B>>], end: Vt, m: &FleetMetrics) -> u64 {
+    let mut moved = 0u64;
+    loop {
+        // Donor: deepest backlog among shards with *no* idle boards —
+        // a shard holding both idle boards and queued work is merely
+        // waiting on its own Kick and must not donate, or two such
+        // shards would trade the same request forever. Lowest shard id
+        // among ties.
+        let mut donor: Option<(usize, usize)> = None; // (queued, idx)
+        for (i, s) in shards.iter_mut().enumerate() {
+            let s = s.get_mut().expect("shard lock");
+            if s.idle.is_empty() && s.queued > 0 && donor.is_none_or(|(q, _)| s.queued > q) {
+                donor = Some((s.queued, i));
+            }
+        }
+        let Some((_, di)) = donor else { break };
+        // Receiver: lowest shard id with more idle boards than backlog.
+        // A donor has no idle boards, so it can never receive: every
+        // steal strictly consumes receiver capacity and the loop
+        // terminates.
+        let Some(ri) = shards.iter_mut().position(|s| {
+            let s = s.get_mut().expect("shard lock");
+            s.idle.len() > s.queued
+        }) else {
+            break;
+        };
+        debug_assert_ne!(ri, di, "a donor shard cannot also be a receiver");
+        // Steal from the back of the donor's lowest-priority class:
+        // the least urgent work migrates.
+        let (q, class, id) = {
+            let d = shards[di].get_mut().expect("shard lock");
+            let class = (0..3)
+                .rev()
+                .find(|&c| !d.queues[c].is_empty())
+                .expect("queued > 0");
+            let q = d.queues[class].pop_back().expect("non-empty class");
+            d.queued -= 1;
+            let id = q.req.id;
+            if d.cfg.log_events {
+                let seq = d.log.len() as u64;
+                d.log
+                    .push((end.ns(), seq, format!("steal id={id} to=s{ri}")));
+            }
+            (q, class, id)
+        };
+        {
+            let r = shards[ri].get_mut().expect("shard lock");
+            r.queues[class].push_back(q);
+            r.queued += 1;
+            r.queue_high = r.queue_high.max(r.queued);
+            r.events.push(end, Ev::Kick);
+            if r.cfg.log_events {
+                let seq = r.log.len() as u64;
+                r.log
+                    .push((end.ns(), seq, format!("stolen id={id} from=s{di}")));
+            }
+        }
+        m.stolen.inc();
+        moved += 1;
+    }
+    moved
+}
+
+/// Run `trace` over `states`/`resident` with `backend`, returning every
+/// outcome plus the final board states.
+///
+/// Results are a pure function of `(cfg.mode, cfg.max_attempts,
+/// cfg.backoff, cfg.shards, cfg.window, admission knobs, trace, initial
+/// state, backend)` — `cfg.workers` changes wall time only.
+pub fn run<B: Backend>(
+    backend: &B,
+    metrics: &FleetMetrics,
+    cfg: &SchedConfig,
+    trace: Vec<SimRequest>,
+    states: Vec<B::Board>,
+    resident: Vec<Vec<Resident>>,
+) -> RunOutput<B> {
+    let nboards = states.len();
+    assert!(nboards > 0, "a fleet needs at least one board");
+    assert_eq!(nboards, resident.len(), "one residency vector per board");
+    let nshards = cfg.shards.clamp(1, nboards);
+    let workers = match cfg.workers {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        w => w,
+    }
+    .clamp(1, nshards);
+    let window_ns = (cfg.window.as_nanos() as u64).max(1);
+
+    let mut shards: Vec<Shard<B>> = (0..nshards)
+        .map(|id| Shard {
+            id,
+            nshards,
+            cfg: cfg.clone(),
+            backoff_ns: cfg.backoff.as_nanos() as u64,
+            boards: Vec::new(),
+            events: EventQueue::new(),
+            now: Vt::ZERO,
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            queued: 0,
+            queue_high: 0,
+            inflight: HashMap::new(),
+            idle: BTreeSet::new(),
+            idle_exact: HashMap::new(),
+            idle_base: HashMap::new(),
+            outcomes: Vec::new(),
+            log: Vec::new(),
+        })
+        .collect();
+    for (g, (state, res)) in states.into_iter().zip(resident).enumerate() {
+        shards[g % nshards].boards.push(BoardCore {
+            state,
+            resident: res,
+            job: None,
+            busy_ns: 0,
+        });
+    }
+    for s in &mut shards {
+        for b in 0..s.boards.len() as u32 {
+            s.index_insert(b);
+        }
+    }
+    for (i, req) in trace.into_iter().enumerate() {
+        let at = req.at;
+        shards[i % nshards].events.push(at, Ev::Arrive(req));
+    }
+
+    let mut shards: Vec<Mutex<Shard<B>>> = shards.into_iter().map(Mutex::new).collect();
+    let mut stolen = 0u64;
+    loop {
+        let next = shards
+            .iter_mut()
+            .filter_map(|s| s.get_mut().expect("shard lock").events.peek_at())
+            .min();
+        let Some(next) = next else { break };
+        let end = next.after_ns(window_ns);
+        let tasks: Vec<usize> = (0..shards.len())
+            .filter(|&i| {
+                shards[i]
+                    .get_mut()
+                    .expect("shard lock")
+                    .events
+                    .peek_at()
+                    .is_some_and(|at| at < end)
+            })
+            .collect();
+        if workers == 1 || tasks.len() == 1 {
+            for &i in &tasks {
+                shards[i]
+                    .get_mut()
+                    .expect("shard lock")
+                    .run_until(backend, metrics, end);
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let shards_ref = &shards;
+            let tasks_ref = &tasks;
+            std::thread::scope(|scope| {
+                for _ in 0..workers.min(tasks.len()) {
+                    scope.spawn(|| loop {
+                        let k = cursor.fetch_add(1, Ordering::SeqCst);
+                        let Some(&i) = tasks_ref.get(k) else { break };
+                        shards_ref[i]
+                            .lock()
+                            .expect("shard lock")
+                            .run_until(backend, metrics, end);
+                    });
+                }
+            });
+        }
+        stolen += rebalance(&mut shards, end, metrics);
+    }
+
+    // Collect, mapping shard-local boards back to global indices.
+    let mut outcomes = Vec::new();
+    let mut states_out: Vec<Option<B::Board>> = (0..nboards).map(|_| None).collect();
+    let mut resident_out = vec![Vec::new(); nboards];
+    let mut busy_ns = vec![0u64; nboards];
+    let mut completed = Vt::ZERO;
+    let mut log = Vec::new();
+    let mut queue_high = 0usize;
+    for (sid, shard) in shards.into_iter().enumerate() {
+        let shard = shard.into_inner().expect("shard lock");
+        debug_assert!(shard.queued == 0, "drained scheduler left queued work");
+        debug_assert!(
+            shard.boards.iter().all(|b| b.job.is_none()),
+            "drained scheduler left a job in flight"
+        );
+        completed = completed.max(shard.now);
+        queue_high = queue_high.max(shard.queue_high);
+        metrics.record_shard(
+            sid,
+            shard.outcomes.len() as u64,
+            shard.boards.iter().map(|b| b.busy_ns).sum::<u64>() / 1_000,
+        );
+        for (local, core) in shard.boards.into_iter().enumerate() {
+            let g = sid + local * shard.nshards;
+            states_out[g] = Some(core.state);
+            resident_out[g] = core.resident;
+            busy_ns[g] = core.busy_ns;
+        }
+        for (at, seq, text) in shard.log {
+            log.push((at, sid, seq, text));
+        }
+        outcomes.extend(shard.outcomes);
+    }
+    outcomes.sort_by_key(|o| (o.id, o.payload));
+    log.sort_by_key(|a| (a.0, a.1, a.2));
+    let event_log = log
+        .into_iter()
+        .map(|(at, sid, _, text)| format!("{at:>12} s{sid:02} {text}"))
+        .collect();
+    metrics.queue_depth.record_level(queue_high as i64);
+    metrics.queue_depth.record_level(0);
+    RunOutput {
+        outcomes,
+        states: states_out
+            .into_iter()
+            .map(|s| s.expect("every board returned"))
+            .collect(),
+        resident: resident_out,
+        busy_ns,
+        completed,
+        stolen,
+        event_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate, FleetSimSpec};
+
+    fn small_spec() -> FleetSimSpec {
+        FleetSimSpec {
+            boards: 8,
+            requests: 400,
+            regions: 2,
+            variants: 4,
+            seed: 42,
+            ..FleetSimSpec::default()
+        }
+    }
+
+    #[test]
+    fn every_request_gets_exactly_one_outcome() {
+        let r = simulate(&small_spec());
+        assert_eq!(r.outcomes.len(), 400);
+        let mut ids: Vec<u64> = r.outcomes.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400, "no request lost or double-served");
+        assert_eq!(r.served + r.failed + r.rejected + r.shed, 400);
+        assert_eq!(r.failed + r.rejected + r.shed, 0, "clean run serves all");
+    }
+
+    #[test]
+    fn coalescing_collapses_hot_key_downloads() {
+        let mut spec = small_spec();
+        spec.boards = 2;
+        spec.variants = 1;
+        spec.regions = 1; // one single key: everything coalesces
+        spec.requests = 200;
+        let r = simulate(&spec);
+        assert_eq!(r.served, 200);
+        assert!(
+            r.downloads <= 4,
+            "one key needs at most a download per board, got {}",
+            r.downloads
+        );
+        assert!(r.coalesced + r.resident_hits >= 190);
+        // Every coalesced rider observed the same store generation as
+        // the download it rode.
+        let gen0 = r.outcomes[0].generation;
+        assert!(r.outcomes.iter().all(|o| o.generation == gen0));
+    }
+
+    #[test]
+    fn admission_control_rejects_and_sheds_typed() {
+        let mut spec = small_spec();
+        spec.boards = 1;
+        spec.shards = 1;
+        spec.requests = 64;
+        spec.queue_cap = 4;
+        spec.shed_watermark = 2;
+        spec.mean_gap_ns = 1; // slam the queue
+        spec.coalesce = false; // force real queue pressure
+        spec.zipf_s = 0.0;
+        let r = simulate(&spec);
+        assert_eq!(
+            r.served + r.failed + r.rejected + r.shed,
+            64,
+            "admission decisions still produce outcomes"
+        );
+        assert!(r.rejected > 0, "cap 4 under slam must reject");
+        assert!(
+            r.outcomes
+                .iter()
+                .filter(|o| o.kind == OutcomeKind::Rejected)
+                .all(|o| o.error.as_deref().is_some_and(|e| e.contains("queue full"))),
+            "rejections carry a typed reason"
+        );
+        // Backpressure never drops an admitted request: everything not
+        // rejected/shed at the door was served or failed with a reason.
+        assert!(r.outcomes.iter().all(|o| o.served() || o.error.is_some()));
+    }
+
+    #[test]
+    fn shed_hits_low_priority_only() {
+        let mut spec = small_spec();
+        spec.boards = 1;
+        spec.shards = 1;
+        spec.requests = 200;
+        spec.queue_cap = usize::MAX;
+        spec.shed_watermark = 2;
+        spec.mean_gap_ns = 1;
+        spec.coalesce = false;
+        spec.zipf_s = 0.0;
+        spec.low_fraction = 0.5;
+        spec.high_fraction = 0.1;
+        let r = simulate(&spec);
+        assert!(r.shed > 0, "low traffic past the watermark must shed");
+        assert!(r
+            .outcomes
+            .iter()
+            .filter(|o| o.kind == OutcomeKind::Shed)
+            .all(|o| o.priority == Priority::Low));
+        assert_eq!(r.rejected, 0, "unbounded queue never rejects");
+    }
+
+    #[test]
+    fn bad_requests_fail_with_typed_errors() {
+        let spec = small_spec();
+        let trace = vec![
+            SimRequest {
+                id: 0,
+                at: Vt::ZERO,
+                region: 99,
+                variant: 0,
+                priority: Priority::Normal,
+                payload: 0,
+            },
+            SimRequest {
+                id: 1,
+                at: Vt::ZERO,
+                region: 0,
+                variant: 99,
+                priority: Priority::Normal,
+                payload: 1,
+            },
+        ];
+        let r = crate::sim::simulate_trace(&spec, trace);
+        assert_eq!(r.failed, 2);
+        assert!(r.outcomes[0]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("region")));
+        assert!(r.outcomes[1]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("variant")));
+    }
+
+    #[test]
+    fn faults_retry_to_full_success_and_contiguous_attempts() {
+        let mut spec = small_spec();
+        spec.fault_rate = 0.3;
+        let r = simulate(&spec);
+        assert_eq!(r.served, 400, "every request eventually succeeds");
+        assert!(r.retries > 0, "a 30% fault rate must force retries");
+        // Attempts are contiguous in virtual time: a download job's
+        // completion is exactly its start plus its port time.
+        for o in r.outcomes.iter().filter(|o| o.bytes > 0) {
+            assert_eq!(o.completed.ns(), o.started.ns() + o.port_ns);
+        }
+    }
+
+    #[test]
+    fn per_board_downloads_never_overlap_in_virtual_time() {
+        let mut spec = small_spec();
+        spec.fault_rate = 0.2;
+        spec.boards = 4;
+        let r = simulate(&spec);
+        let mut per_board: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+        for o in r.outcomes.iter().filter(|o| o.bytes > 0) {
+            per_board
+                .entry(o.board.expect("download has a board"))
+                .or_default()
+                .push((o.started.ns(), o.completed.ns()));
+        }
+        for (board, mut spans) in per_board {
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "board {board} ran two downloads concurrently: {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_migrates_backlog_to_idle_shards() {
+        let mut spec = small_spec();
+        spec.boards = 8;
+        spec.shards = 4;
+        spec.requests = 400;
+        spec.zipf_s = 0.0;
+        spec.coalesce = false; // pile real queue depth on unlucky shards
+        spec.mean_gap_ns = 1;
+        let r = simulate(&spec);
+        assert_eq!(r.served, 400);
+        assert!(r.stolen > 0, "slammed shards must donate work");
+    }
+
+    #[test]
+    fn full_swap_costs_more_traffic_than_partial() {
+        let mut spec = small_spec();
+        spec.zipf_s = 0.0;
+        let p = simulate(&spec);
+        spec.mode = ServeMode::FullSwap;
+        let f = simulate(&spec);
+        assert_eq!(p.served, 400);
+        assert_eq!(f.served, 400);
+        assert!(
+            f.download_bytes > 2 * p.download_bytes,
+            "full {} vs partial {}",
+            f.download_bytes,
+            p.download_bytes
+        );
+    }
+}

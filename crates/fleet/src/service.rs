@@ -1,39 +1,33 @@
-//! The fleet service: a pool of boards draining a shared request queue.
+//! The fleet service facade: real `SimBoard`s behind the event-driven
+//! scheduler.
 //!
 //! Each request means "make region R of some board run variant V, step
-//! the user clock, return the module's pad outputs". Workers (one per
-//! board) pull the *cheapest* runnable request for their board — zero
-//! frames when the variant is already resident, otherwise the region's
-//! frame count through the SelectMAP byte-cycle model — download the
-//! bitstream, verify it by region-scoped readback compare, and retry
-//! with exponential backoff when the port faults or verification fails.
-//!
-//! All configuration traffic goes through [`jbits::Xhwif`], exactly as
-//! JPG's own download path does; the pool happens to be `SimBoard`s, but
-//! nothing in the serving loop knows that beyond pad I/O.
+//! the user clock, return the module's pad outputs". The facade wraps
+//! the generic scheduler in [`crate::sched`] with a [`RealBackend`]
+//! whose downloads go through [`jbits::Xhwif`] exactly as JPG's own
+//! download path does, verified by region-scoped readback compare and
+//! retried with exponential backoff when the port faults or
+//! verification fails. All timing is the simulated SelectMAP
+//! byte-cycle model; the scheduler's virtual clock replaces the old
+//! thread-per-board worker pool, so a `Fleet` no longer spawns one OS
+//! thread per board — worker threads multiplex shards of boards, and
+//! results are deterministic for a fixed request stream.
 
 use crate::library::ServingLibrary;
 use crate::metrics::FleetMetrics;
+pub use crate::sched::ServeMode;
+use crate::sched::{
+    self, Backend, DownloadResult, DownloadStatus, Flavor, Outcome, OutcomeKind, Priority,
+    Resident, Resolved, SchedConfig, SimRequest,
+};
 use crate::store::StoredPartial;
 use crate::FleetError;
 use bitstream::Bitstream;
 use jbits::Xhwif;
 use simboard::port::{download_time, FaultInjector};
 use simboard::SimBoard;
-use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
-
-/// Which bitstream the fleet downloads per swap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ServeMode {
-    /// Partial bitstreams from the store (the JPG flow): incremental
-    /// when the region still holds base content, wholesale otherwise.
-    Partial,
-    /// A complete bitstream per swap (the conventional-flow baseline the
-    /// paper argues against).
-    FullSwap,
-}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -102,12 +96,15 @@ pub struct Response {
     pub variant: usize,
     /// Pad values after clocking, in catalogue pad order.
     pub outputs: Vec<(String, bool)>,
-    /// Download attempts spent (0 = variant was already resident).
+    /// Download attempts spent (0 = no dedicated download).
     pub attempts: u32,
     /// Whether the store already held the generated bitstreams.
     pub store_hit: bool,
     /// Whether the variant was already resident (no download needed).
     pub resident_hit: bool,
+    /// Whether the request rode another request's in-flight download of
+    /// the same `(region, variant)`.
+    pub coalesced: bool,
     /// Configuration bytes pushed for this request.
     pub bytes: u64,
     /// Simulated port time consumed (downloads + readbacks + backoff).
@@ -116,36 +113,151 @@ pub struct Response {
     pub error: Option<String>,
 }
 
-/// What a board's region currently holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Resident {
-    /// Base content (fresh board or after rebase).
-    Base,
-    /// A verified variant.
-    Variant(usize),
-    /// A failed or unverified download landed here.
-    Unknown,
+/// One real board: the simulated fabric plus its recycled readback
+/// scratch (region compares would otherwise reallocate per verify).
+struct RealBoard {
+    board: SimBoard,
+    readback: Vec<u32>,
 }
 
-/// One board plus its serving state.
-struct BoardSlot {
-    board: SimBoard,
-    resident: Vec<Resident>,
-    /// Simulated cumulative port busy time (the makespan component).
-    busy: Duration,
-    /// Readback scratch recycled across verifies — region compares on a
-    /// busy worker would otherwise reallocate the reply buffer per pass.
-    readback: Vec<u32>,
+/// Mutable fleet state persisted across runs.
+struct FleetInner {
+    boards: Vec<RealBoard>,
+    resident: Vec<Vec<Resident>>,
 }
 
 /// The service.
 pub struct Fleet {
     library: Arc<ServingLibrary>,
     cfg: FleetConfig,
-    slots: Vec<Mutex<BoardSlot>>,
-    queue: Mutex<VecDeque<Request>>,
+    inner: Mutex<FleetInner>,
     metrics: FleetMetrics,
     init_time: Duration,
+}
+
+/// The scheduler backend over real boards: resolution through the
+/// [`ServingLibrary`]/[`crate::store::PartialStore`], downloads through
+/// XHWIF, outputs from the simulated fabric.
+struct RealBackend<'a> {
+    library: &'a ServingLibrary,
+    requests: &'a [Request],
+    frame_words: usize,
+}
+
+impl RealBackend<'_> {
+    fn catalog(&self, region: u32) -> &crate::library::RegionCatalog {
+        &self.library.regions()[region as usize]
+    }
+}
+
+impl Backend for RealBackend<'_> {
+    type Artifact = Arc<StoredPartial>;
+    type Board = RealBoard;
+
+    fn resolve(&self, req: &SimRequest) -> Result<(Self::Artifact, Resolved), String> {
+        let (stored, hit) = self
+            .library
+            .resolve(req.region as usize, req.variant as usize);
+        let stored = stored.map_err(|e| e.to_string())?;
+        let verify_words: usize = self
+            .catalog(req.region)
+            .verify_ranges
+            .iter()
+            .map(|r| (r.len + 1) * self.frame_words)
+            .sum();
+        let res = Resolved {
+            store_hit: hit,
+            generation: stored.key.epoch,
+            bytes_incremental: stored.incremental.byte_len() as u64,
+            bytes_wholesale: stored.wholesale.byte_len() as u64,
+            bytes_full: stored.full.byte_len() as u64,
+            bytes_verify: verify_words as u64 * 4,
+        };
+        Ok((stored, res))
+    }
+
+    fn download(
+        &self,
+        board: &mut RealBoard,
+        _global: u32,
+        art: &Arc<StoredPartial>,
+        flavor: Flavor,
+        _res: &Resolved,
+    ) -> DownloadResult {
+        let stream: &Bitstream = match flavor {
+            Flavor::Incremental => &art.incremental,
+            Flavor::Wholesale => &art.wholesale,
+            Flavor::Full => &art.full,
+        };
+        let bytes = stream.byte_len() as u64;
+        let dl = download_time(stream.byte_len()).as_nanos() as u64;
+        if let Err(e) = board.board.set_configuration(stream) {
+            return DownloadResult {
+                status: DownloadStatus::PortFault(e.to_string()),
+                bytes,
+                download_ns: dl,
+                verify_ns: 0,
+                readback_bytes: 0,
+            };
+        }
+        // Region-scoped readback compare against the stored expectation
+        // (costs port time proportional to the region, not the device —
+        // the point of `Xhwif::get_configuration_region`).
+        let cat = &self.library.regions()[art.key.region];
+        board.readback.clear();
+        let mut reply_words = 0usize;
+        for r in &cat.verify_ranges {
+            match board
+                .board
+                .get_configuration_region_into(*r, &mut board.readback)
+            {
+                // The physical reply carries one pad frame per read.
+                Ok(()) => reply_words += (r.len + 1) * self.frame_words,
+                Err(_) => {
+                    return DownloadResult {
+                        status: DownloadStatus::VerifyMismatch,
+                        bytes,
+                        download_ns: dl,
+                        verify_ns: 0,
+                        readback_bytes: 0,
+                    }
+                }
+            }
+        }
+        let verify_bytes = reply_words as u64 * 4;
+        let verify_ns = download_time(reply_words * 4).as_nanos() as u64;
+        let status = if board.readback == art.expected {
+            DownloadStatus::Verified
+        } else {
+            DownloadStatus::VerifyMismatch
+        };
+        DownloadResult {
+            status,
+            bytes,
+            download_ns: dl,
+            verify_ns,
+            readback_bytes: verify_bytes,
+        }
+    }
+
+    fn finish(&self, board: &mut RealBoard, region: u32, payload: u32) -> Vec<(String, bool)> {
+        // The region now verifiably runs the variant: drive, clock, read.
+        let req = &self.requests[payload as usize];
+        let cat = self.catalog(region);
+        for (name, v) in &req.drive {
+            if let Some(io) = cat.pad(name) {
+                board.board.set_pad(io, *v);
+            }
+        }
+        if req.reset {
+            board.board.reset();
+        }
+        board.board.clock_step(req.clocks);
+        cat.pads
+            .iter()
+            .map(|(n, io)| (n.clone(), board.board.get_pad(*io)))
+            .collect()
+    }
 }
 
 impl Fleet {
@@ -159,7 +271,7 @@ impl Fleet {
         assert!(boards > 0, "a fleet needs at least one board");
         let base = library.base_bitstream();
         let regions = library.regions().len();
-        let mut slots = Vec::new();
+        let mut pool = Vec::new();
         let mut init_time = Duration::ZERO;
         for _ in 0..boards {
             let mut board = SimBoard::new(library.device());
@@ -167,18 +279,18 @@ impl Fleet {
                 .set_configuration(&base)
                 .map_err(|e| FleetError::Config(format!("base download: {e}")))?;
             init_time += download_time(base.byte_len());
-            slots.push(Mutex::new(BoardSlot {
+            pool.push(RealBoard {
                 board,
-                resident: vec![Resident::Base; regions],
-                busy: Duration::ZERO,
                 readback: Vec::new(),
-            }));
+            });
         }
         Ok(Fleet {
             library,
             cfg,
-            slots,
-            queue: Mutex::new(VecDeque::new()),
+            inner: Mutex::new(FleetInner {
+                boards: pool,
+                resident: vec![vec![Resident::Base; regions]; boards],
+            }),
             metrics: FleetMetrics::new(),
             init_time,
         })
@@ -187,8 +299,8 @@ impl Fleet {
     /// Install a deterministic fault injector on every board's port,
     /// seeded per board so runs are reproducible board-by-board.
     pub fn inject_faults(&mut self, rate: f64, seed: u64) {
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            let slot = slot.get_mut().expect("slot lock");
+        let inner = self.inner.get_mut().expect("fleet lock");
+        for (i, slot) in inner.boards.iter_mut().enumerate() {
             slot.board.set_fault_injector(if rate > 0.0 {
                 Some(FaultInjector::new(
                     rate,
@@ -202,7 +314,7 @@ impl Fleet {
 
     /// Number of boards.
     pub fn boards(&self) -> usize {
-        self.slots.len()
+        self.inner.lock().expect("fleet lock").boards.len()
     }
 
     /// The service metrics.
@@ -216,50 +328,65 @@ impl Fleet {
         self.init_time
     }
 
-    /// Serve `requests` to completion across all boards concurrently.
-    /// Responses come back sorted by request id. Can be called again;
-    /// board state (resident variants, cumulative busy time) persists
-    /// between runs, but each report's makespan covers only its own run.
+    /// Serve `requests` to completion across all boards through the
+    /// event-driven scheduler. Responses come back sorted by request
+    /// id. Can be called again; board state (resident variants) persists
+    /// between runs, and each report's makespan covers only its own run.
     pub fn run(&self, requests: Vec<Request>) -> FleetReport {
-        for _ in &requests {
-            self.metrics.requests_enqueued.inc();
-            self.metrics.queue_depth.inc();
+        if requests.is_empty() {
+            return FleetReport {
+                responses: Vec::new(),
+                makespan: Duration::ZERO,
+                served: 0,
+                failed: 0,
+            };
         }
-        *self.queue.lock().expect("queue lock") = requests.into();
-
-        let busy_before: Vec<Duration> = self
-            .slots
+        let mut inner = self.inner.lock().expect("fleet lock");
+        let nboards = inner.boards.len();
+        let trace: Vec<SimRequest> = requests
             .iter()
-            .map(|s| s.lock().expect("slot lock").busy)
+            .enumerate()
+            .map(|(i, r)| SimRequest {
+                id: r.id,
+                at: crate::clock::Vt::ZERO,
+                region: r.region as u32,
+                variant: r.variant as u32,
+                priority: Priority::Normal,
+                payload: i as u32,
+            })
             .collect();
-        let responses = Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            for i in 0..self.slots.len() {
-                let responses = &responses;
-                scope.spawn(move || loop {
-                    let req = {
-                        let mut q = self.queue.lock().expect("queue lock");
-                        match self.pick_for_board(i, &mut q) {
-                            Some(r) => r,
-                            None => break,
-                        }
-                    };
-                    self.metrics.queue_depth.dec();
-                    let resp = self.serve(i, req);
-                    responses.lock().expect("responses lock").push(resp);
-                });
-            }
-        });
+        let backend = RealBackend {
+            library: &self.library,
+            requests: &requests,
+            frame_words: virtex::ConfigGeometry::for_device(self.library.device()).frame_words(),
+        };
+        let sched_cfg = SchedConfig {
+            mode: self.cfg.mode,
+            max_attempts: self.cfg.max_attempts,
+            backoff: self.cfg.backoff,
+            // One board per shard up to a cardinality-bounded cap: the
+            // schedule stays per-board, but metrics labels stay O(64).
+            shards: nboards.min(64),
+            workers: 0,
+            window: Duration::from_micros(50),
+            queue_cap: usize::MAX,
+            shed_watermark: usize::MAX,
+            coalesce: true,
+            log_events: false,
+        };
+        let boards = std::mem::take(&mut inner.boards);
+        let resident = std::mem::take(&mut inner.resident);
+        let out = sched::run(&backend, &self.metrics, &sched_cfg, trace, boards, resident);
+        inner.boards = out.states;
+        inner.resident = out.resident;
+        drop(inner);
 
-        let mut responses = responses.into_inner().expect("responses lock");
-        responses.sort_by_key(|r| r.id);
-        let makespan = self
-            .slots
-            .iter()
-            .zip(&busy_before)
-            .map(|(s, &b0)| s.lock().expect("slot lock").busy - b0)
-            .max()
-            .unwrap_or(Duration::ZERO);
+        let responses: Vec<Response> = out
+            .outcomes
+            .into_iter()
+            .map(|o| outcome_to_response(&o))
+            .collect();
+        let makespan = Duration::from_nanos(out.busy_ns.iter().copied().max().unwrap_or(0));
         let served = responses.iter().filter(|r| r.error.is_none()).count() as u64;
         let failed = responses.len() as u64 - served;
         FleetReport {
@@ -269,260 +396,29 @@ impl Fleet {
             failed,
         }
     }
+}
 
-    /// Pop the cheapest runnable request for board `i`: fewest frames to
-    /// rewrite under the current resident configuration (FIFO among
-    /// ties), which through the byte-per-cycle SelectMAP model is also
-    /// the shortest download.
-    fn pick_for_board(&self, i: usize, q: &mut VecDeque<Request>) -> Option<Request> {
-        if q.is_empty() {
-            return None;
-        }
-        let slot = self.slots[i].lock().expect("slot lock");
-        let mut best: Option<(usize, usize)> = None; // (cost, index)
-        for (idx, req) in q.iter().enumerate() {
-            let cost = self.request_cost(&slot, req);
-            let better = match best {
-                None => true,
-                Some((c, _)) => cost < c,
-            };
-            if better {
-                best = Some((cost, idx));
-                if cost == 0 {
-                    break; // can't beat an already-resident variant
-                }
-            }
-        }
-        best.and_then(|(_, idx)| q.remove(idx))
-    }
-
-    /// Frames board `slot` would have to rewrite to serve `req`.
-    fn request_cost(&self, slot: &BoardSlot, req: &Request) -> usize {
-        let Some(cat) = self.library.regions().get(req.region) else {
-            return 0; // malformed; serve() will reject it cheaply
-        };
-        match self.cfg.mode {
-            ServeMode::Partial => match slot.resident.get(req.region) {
-                Some(Resident::Variant(v)) if *v == req.variant => 0,
-                _ => cat.verify_frames(),
-            },
-            // A full swap rewrites every frame unless the whole device
-            // already matches (this variant resident, all else base).
-            ServeMode::FullSwap => {
-                let exact = slot.resident.iter().enumerate().all(|(r, res)| {
-                    if r == req.region {
-                        *res == Resident::Variant(req.variant)
-                    } else {
-                        *res == Resident::Base
-                    }
-                });
-                if exact {
-                    0
-                } else {
-                    self.library
-                        .regions()
-                        .iter()
-                        .map(|c| c.verify_frames())
-                        .sum()
-                }
-            }
-        }
-    }
-
-    /// Serve one request on board `i` end to end.
-    fn serve(&self, i: usize, req: Request) -> Response {
-        let mut resp = Response {
-            id: req.id,
-            board: i,
-            region: req.region,
-            variant: req.variant,
-            outputs: Vec::new(),
-            attempts: 0,
-            store_hit: false,
-            resident_hit: false,
-            bytes: 0,
-            port_time: Duration::ZERO,
-            error: None,
-        };
-        let (stored, hit) = self.library.resolve(req.region, req.variant);
-        if hit {
-            self.metrics.store_hits.inc();
-        } else {
-            self.metrics.store_misses.inc();
-        }
-        resp.store_hit = hit;
-        let stored = match stored {
-            Ok(s) => s,
-            Err(e) => return self.fail(resp, e.to_string()),
-        };
-
-        let mut slot = self.slots[i].lock().expect("slot lock");
-        let outcome = self.reconfigure(&mut slot, &req, &stored, &mut resp);
-        if let Err(e) = outcome {
-            slot.busy += resp.port_time;
-            drop(slot);
-            return self.fail(resp, e.to_string());
-        }
-
-        // The region now verifiably runs the variant: drive, clock, read.
-        let cat = &self.library.regions()[req.region];
-        for (name, v) in &req.drive {
-            if let Some(io) = cat.pad(name) {
-                slot.board.set_pad(io, *v);
-            }
-        }
-        if req.reset {
-            slot.board.reset();
-        }
-        slot.board.clock_step(req.clocks);
-        resp.outputs = cat
-            .pads
-            .iter()
-            .map(|(n, io)| (n.clone(), slot.board.get_pad(*io)))
-            .collect();
-        slot.busy += resp.port_time;
-        drop(slot);
-
-        self.metrics.requests_served.inc();
-        self.metrics.request_latency.record(resp.port_time);
-        resp
-    }
-
-    /// Bring `req`'s variant up on the board, verified: fast-path when
-    /// resident, otherwise download + readback compare with retry.
-    fn reconfigure(
-        &self,
-        slot: &mut BoardSlot,
-        req: &Request,
-        stored: &StoredPartial,
-        resp: &mut Response,
-    ) -> Result<(), FleetError> {
-        let resident_exact = match self.cfg.mode {
-            ServeMode::Partial => slot.resident[req.region] == Resident::Variant(req.variant),
-            ServeMode::FullSwap => slot.resident.iter().enumerate().all(|(r, res)| {
-                if r == req.region {
-                    *res == Resident::Variant(req.variant)
-                } else {
-                    *res == Resident::Base
-                }
-            }),
-        };
-        if resident_exact {
-            // Residency is only ever recorded after a verified download,
-            // and failures demote to `Unknown` — so a resident variant
-            // needs no port traffic at all, matching the scheduler's
-            // zero-frame cost for this request.
-            self.metrics.resident_hits.inc();
-            resp.resident_hit = true;
-            return Ok(());
-        }
-
-        let mut last_error = String::new();
-        while resp.attempts < self.cfg.max_attempts {
-            let stream: &Bitstream = match self.cfg.mode {
-                ServeMode::FullSwap => &stored.full,
-                // First attempt from a pristine base region can use the
-                // small incremental flavor; anything else needs the
-                // wholesale partial, which overwrites any resident.
-                ServeMode::Partial => {
-                    if resp.attempts == 0 && slot.resident[req.region] == Resident::Base {
-                        &stored.incremental
-                    } else {
-                        &stored.wholesale
-                    }
-                }
-            };
-            if resp.attempts > 0 {
-                // Exponential backoff: the port sits idle, simulated.
-                let pause = self.cfg.backoff * 2u32.pow((resp.attempts - 1).min(10));
-                resp.port_time += pause;
-            }
-            resp.attempts += 1;
-            self.metrics.downloads.inc();
-            self.metrics.download_bytes.add(stream.byte_len() as u64);
-            resp.bytes += stream.byte_len() as u64;
-            let dl = download_time(stream.byte_len());
-            resp.port_time += dl;
-            self.metrics.download_latency.record(dl);
-
-            // Any write leaves the region (or, for a full swap, the
-            // whole board) in an unknown state until verified.
-            match self.cfg.mode {
-                ServeMode::Partial => slot.resident[req.region] = Resident::Unknown,
-                ServeMode::FullSwap => slot.resident.fill(Resident::Unknown),
-            }
-            match slot.board.set_configuration(stream) {
-                Err(e) => {
-                    self.metrics.retries.inc();
-                    last_error = e.to_string();
-                    continue;
-                }
-                Ok(()) => {
-                    if self.verify(slot, req.region, stored, resp) {
-                        slot.resident[req.region] = Resident::Variant(req.variant);
-                        if self.cfg.mode == ServeMode::FullSwap {
-                            for (r, res) in slot.resident.iter_mut().enumerate() {
-                                if r != req.region {
-                                    *res = Resident::Base;
-                                }
-                            }
-                        }
-                        return Ok(());
-                    }
-                    self.metrics.retries.inc();
-                    last_error = "readback verification mismatch".into();
-                    continue;
-                }
-            }
-        }
-        Err(FleetError::Exhausted {
-            attempts: resp.attempts,
-            last: last_error,
-        })
-    }
-
-    /// Region-scoped readback compare against the stored expectation.
-    /// Costs simulated port time proportional to the region, not the
-    /// device — the point of `Xhwif::get_configuration_region`.
-    fn verify(
-        &self,
-        slot: &mut BoardSlot,
-        region: usize,
-        stored: &StoredPartial,
-        resp: &mut Response,
-    ) -> bool {
-        let cat = &self.library.regions()[region];
-        let fw = virtex::ConfigGeometry::for_device(self.library.device()).frame_words();
-        // Split the borrow: the readback scratch lives next to the board
-        // it is filled from, recycled across every verify on this slot.
-        let BoardSlot {
-            board, readback, ..
-        } = slot;
-        readback.clear();
-        let mut reply_words = 0usize;
-        for r in &cat.verify_ranges {
-            match board.get_configuration_region_into(*r, readback) {
-                // The physical reply carries one pad frame per read.
-                Ok(()) => reply_words += (r.len + 1) * fw,
-                Err(_) => return false,
-            }
-        }
-        let rb = download_time(reply_words * 4);
-        resp.port_time += rb;
-        self.metrics.verify_latency.record(rb);
-        self.metrics.readback_bytes.add(reply_words as u64 * 4);
-        let ok = *readback == stored.expected;
-        if !ok {
-            self.metrics.verify_failures.inc();
-        }
-        ok
-    }
-
-    fn fail(&self, mut resp: Response, error: String) -> Response {
-        self.metrics.requests_failed.inc();
-        self.metrics.request_latency.record(resp.port_time);
-        resp.error = Some(error);
-        resp
+fn outcome_to_response(o: &Outcome) -> Response {
+    let (resident_hit, coalesced) = match o.kind {
+        OutcomeKind::Served {
+            resident,
+            coalesced,
+        } => (resident, coalesced),
+        _ => (false, false),
+    };
+    Response {
+        id: o.id,
+        board: o.board.unwrap_or(0) as usize,
+        region: o.region as usize,
+        variant: o.variant as usize,
+        outputs: o.outputs.clone(),
+        attempts: o.attempts,
+        store_hit: o.store_hit,
+        resident_hit,
+        coalesced,
+        bytes: o.bytes,
+        port_time: Duration::from_nanos(o.port_ns),
+        error: o.error.clone(),
     }
 }
 

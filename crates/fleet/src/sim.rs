@@ -1,0 +1,458 @@
+//! Model-backed fleet simulation: the 10k-board, million-request scale
+//! harness.
+//!
+//! The real backend (`service.rs`) drives actual `SimBoard` fabric —
+//! cycle-accurate but far too heavy to instantiate ten thousand times.
+//! [`ModelBackend`] keeps only what the *scheduler* observes: per-key
+//! bitstream byte counts (priced through the same 50 MHz SelectMAP
+//! byte-cycle model as real downloads, via
+//! [`simboard::port::download_ns`]) and a per-board deterministic
+//! [`FaultInjector`] reusing `simboard`'s exact fault fates. Store
+//! behaviour is modelled by a prepass over the trace: the first request
+//! to touch each `(region, variant)` pays the store miss, everyone
+//! after hits — which makes per-request `store_hit` flags deterministic
+//! (the real store's once-lock race is winner-takes-miss and therefore
+//! timing-dependent; a model must not be).
+//!
+//! [`simulate`] is the single entry point used by the determinism test
+//! suite, the property tests, `jpg-cli fleet-sim` and the
+//! `fleet_scale_smoke` benchmark.
+
+use crate::clock::Vt;
+use crate::metrics::FleetMetrics;
+use crate::sched::{
+    self, Backend, DownloadResult, DownloadStatus, Flavor, Outcome, Resident, Resolved,
+    SchedConfig, ServeMode, SimRequest,
+};
+use crate::trace::TraceSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simboard::port::download_ns;
+use simboard::{FaultInjector, FaultKind};
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// Parameters of one model-backed simulation.
+#[derive(Debug, Clone)]
+pub struct FleetSimSpec {
+    /// Simulated boards.
+    pub boards: usize,
+    /// Shards (0 = `boards.min(64)`). Shard count fixes the schedule.
+    pub shards: usize,
+    /// Worker threads (0 = available parallelism). Wall time only.
+    pub workers: usize,
+    /// Synthetic requests to generate.
+    pub requests: usize,
+    /// Regions per board.
+    pub regions: u32,
+    /// Variants per region.
+    pub variants: u32,
+    /// Zipf skew of variant popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Mean inter-arrival gap, virtual ns (0 = auto-size to ~80% fleet
+    /// utilization from the modelled service cost).
+    pub mean_gap_ns: u64,
+    /// Burst factor for the arrival process (1 = no bursts).
+    pub burst: u64,
+    /// Fraction of requests tagged high priority.
+    pub high_fraction: f64,
+    /// Fraction of requests tagged low priority.
+    pub low_fraction: f64,
+    /// Per-download fault probability on every board.
+    pub fault_rate: f64,
+    /// Download flavor.
+    pub mode: ServeMode,
+    /// Retry budget per request.
+    pub max_attempts: u32,
+    /// Per-shard admission queue bound.
+    pub queue_cap: usize,
+    /// Per-shard backlog at which low-priority arrivals shed.
+    pub shed_watermark: usize,
+    /// Same-key request coalescing.
+    pub coalesce: bool,
+    /// Record the per-event log (golden fixtures; heavy at scale).
+    pub log_events: bool,
+    /// Master seed: trace, artifact sizes and fault fates all derive
+    /// from it.
+    pub seed: u64,
+}
+
+impl Default for FleetSimSpec {
+    fn default() -> FleetSimSpec {
+        FleetSimSpec {
+            boards: 64,
+            shards: 0,
+            workers: 0,
+            requests: 10_000,
+            regions: 4,
+            variants: 8,
+            zipf_s: 1.1,
+            mean_gap_ns: 0,
+            burst: 8,
+            high_fraction: 0.05,
+            low_fraction: 0.10,
+            fault_rate: 0.0,
+            mode: ServeMode::Partial,
+            max_attempts: 16,
+            queue_cap: usize::MAX,
+            shed_watermark: usize::MAX,
+            coalesce: true,
+            log_events: false,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// Modelled per-key artifact sizes, deterministic in the spec seed.
+///
+/// The numbers are shaped like the real XCV300 serving library from
+/// E10: incremental partials of a few KB, wholesale partials a small
+/// multiple of that, complete bitstreams in the hundreds of KB, and a
+/// region readback reply slightly larger than the wholesale partial
+/// (one pad frame per read).
+fn model_sizes(spec: &FleetSimSpec) -> HashMap<(u32, u32), Resolved> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xA57F_AC75);
+    let mut sizes = HashMap::new();
+    for region in 0..spec.regions {
+        for variant in 0..spec.variants {
+            let incremental = 4_096 + rng.gen_range(0..8_192u64);
+            let wholesale = incremental * 2 + rng.gen_range(0..4_096u64);
+            let full = 220_000 + rng.gen_range(0..20_000u64);
+            let generation = rng.gen_range(1..u64::MAX);
+            sizes.insert(
+                (region, variant),
+                Resolved {
+                    store_hit: true, // patched per request via miss set
+                    generation,
+                    bytes_incremental: incremental,
+                    bytes_wholesale: wholesale,
+                    bytes_full: full,
+                    bytes_verify: wholesale + wholesale / 4,
+                },
+            );
+        }
+    }
+    sizes
+}
+
+/// One modelled board: fault fates only.
+pub struct ModelBoard {
+    fault: Option<FaultInjector>,
+}
+
+/// The scale-harness backend: byte-count costs, no fabric.
+pub struct ModelBackend {
+    regions: u32,
+    variants: u32,
+    sizes: HashMap<(u32, u32), Resolved>,
+    miss_ids: HashSet<u64>,
+}
+
+impl ModelBackend {
+    /// A backend for `spec`, with store misses assigned to the first
+    /// request of each key in `trace` order.
+    pub fn new(spec: &FleetSimSpec, trace: &[SimRequest]) -> ModelBackend {
+        let mut seen = HashSet::new();
+        let mut miss_ids = HashSet::new();
+        for r in trace {
+            if seen.insert((r.region, r.variant)) {
+                miss_ids.insert(r.id);
+            }
+        }
+        ModelBackend {
+            regions: spec.regions,
+            variants: spec.variants,
+            sizes: model_sizes(spec),
+            miss_ids,
+        }
+    }
+
+    /// Fresh board states for `spec`, fault injectors seeded per board
+    /// with the same per-index derivation the real fleet uses.
+    pub fn boards(spec: &FleetSimSpec) -> Vec<ModelBoard> {
+        (0..spec.boards)
+            .map(|i| ModelBoard {
+                fault: (spec.fault_rate > 0.0).then(|| {
+                    FaultInjector::new(
+                        spec.fault_rate,
+                        spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64),
+                    )
+                }),
+            })
+            .collect()
+    }
+}
+
+impl Backend for ModelBackend {
+    type Artifact = ();
+    type Board = ModelBoard;
+
+    fn resolve(&self, req: &SimRequest) -> Result<((), Resolved), String> {
+        if req.region >= self.regions {
+            return Err(format!("bad request: region {} out of range", req.region));
+        }
+        if req.variant >= self.variants {
+            return Err(format!(
+                "bad request: variant {} out of range for region {}",
+                req.variant, req.region
+            ));
+        }
+        let mut res = self.sizes[&(req.region, req.variant)];
+        res.store_hit = !self.miss_ids.contains(&req.id);
+        Ok(((), res))
+    }
+
+    fn download(
+        &self,
+        board: &mut ModelBoard,
+        _global: u32,
+        _art: &(),
+        flavor: Flavor,
+        res: &Resolved,
+    ) -> DownloadResult {
+        let bytes = match flavor {
+            Flavor::Incremental => res.bytes_incremental,
+            Flavor::Wholesale => res.bytes_wholesale,
+            Flavor::Full => res.bytes_full,
+        };
+        let dl = download_ns(bytes as usize);
+        let draw = match &mut board.fault {
+            Some(f) => f.draw(),
+            None => FaultKind::Clean,
+        };
+        match draw {
+            FaultKind::Drop => DownloadResult {
+                status: DownloadStatus::PortFault("transfer fault (dropped frames)".into()),
+                bytes,
+                download_ns: dl,
+                verify_ns: 0,
+                readback_bytes: 0,
+            },
+            kind => DownloadResult {
+                status: if kind == FaultKind::Corrupt {
+                    DownloadStatus::VerifyMismatch
+                } else {
+                    DownloadStatus::Verified
+                },
+                bytes,
+                download_ns: dl,
+                verify_ns: download_ns(res.bytes_verify as usize),
+                readback_bytes: res.bytes_verify,
+            },
+        }
+    }
+
+    fn finish(&self, _board: &mut ModelBoard, _region: u32, _payload: u32) -> Vec<(String, bool)> {
+        Vec::new()
+    }
+}
+
+/// Everything a simulation run reports.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Per-request outcomes, sorted by id.
+    pub outcomes: Vec<Outcome>,
+    /// Requests served (residents and coalesced riders included).
+    pub served: u64,
+    /// Requests that exhausted retries or failed resolution.
+    pub failed: u64,
+    /// Requests refused at admission (queue full).
+    pub rejected: u64,
+    /// Low-priority requests dropped past the shed watermark.
+    pub shed: u64,
+    /// Requests that rode another's in-flight download.
+    pub coalesced: u64,
+    /// Requests served with zero port traffic.
+    pub resident_hits: u64,
+    /// Download attempts issued.
+    pub downloads: u64,
+    /// Configuration bytes pushed.
+    pub download_bytes: u64,
+    /// Readback reply bytes pulled for verification.
+    pub readback_bytes: u64,
+    /// Failed download attempts that were retried.
+    pub retries: u64,
+    /// Readback compares that mismatched.
+    pub verify_failures: u64,
+    /// Requests migrated between shards at rebalance barriers.
+    pub stolen: u64,
+    /// Virtual completion instant of the whole trace.
+    pub completed: Vt,
+    /// Largest per-board simulated port busy time, nanoseconds.
+    pub makespan_ns: u64,
+    /// Arrival-to-completion latency quantiles (virtual time).
+    pub p50: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
+    /// Served requests per second of virtual completion time.
+    pub throughput_rps: f64,
+    /// Wall-clock the simulation took.
+    pub wall: Duration,
+    /// Merged event log (empty unless `log_events`).
+    pub event_log: Vec<String>,
+    /// Final residency per board per region.
+    pub resident: Vec<Vec<Resident>>,
+    /// Full metric snapshot (deterministic for a fixed seed + spec,
+    /// independent of worker count).
+    pub snapshot: obs::Snapshot,
+}
+
+impl FleetSimSpec {
+    /// The scheduler configuration this spec induces.
+    pub fn sched_config(&self) -> SchedConfig {
+        SchedConfig {
+            mode: self.mode,
+            max_attempts: self.max_attempts,
+            backoff: Duration::from_micros(20),
+            shards: if self.shards == 0 {
+                self.boards.min(64)
+            } else {
+                self.shards
+            },
+            workers: self.workers,
+            window: Duration::from_micros(20),
+            queue_cap: self.queue_cap,
+            shed_watermark: self.shed_watermark,
+            coalesce: self.coalesce,
+            log_events: self.log_events,
+        }
+    }
+
+    /// The synthetic trace this spec induces. With `mean_gap_ns == 0`
+    /// the gap is sized so offered load is ~80% of the fleet's modelled
+    /// service capacity (wholesale download + verify per request).
+    pub fn trace_spec(&self) -> TraceSpec {
+        let mean_gap_ns = if self.mean_gap_ns == 0 {
+            let sizes = model_sizes(self);
+            let mean_service: u64 = sizes
+                .values()
+                .map(|r| {
+                    let bytes = match self.mode {
+                        ServeMode::Partial => r.bytes_wholesale,
+                        ServeMode::FullSwap => r.bytes_full,
+                    };
+                    download_ns((bytes + r.bytes_verify) as usize)
+                })
+                .sum::<u64>()
+                / sizes.len().max(1) as u64;
+            ((mean_service as f64) / (self.boards as f64 * 0.8)).max(1.0) as u64
+        } else {
+            self.mean_gap_ns
+        };
+        TraceSpec {
+            requests: self.requests,
+            regions: self.regions,
+            variants: self.variants,
+            zipf_s: self.zipf_s,
+            mean_gap_ns,
+            burst: self.burst,
+            high_fraction: self.high_fraction,
+            low_fraction: self.low_fraction,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Run a model-backed simulation of `spec`'s synthetic trace.
+pub fn simulate(spec: &FleetSimSpec) -> SimReport {
+    simulate_trace(spec, spec.trace_spec().generate())
+}
+
+/// Run a model-backed simulation of an explicit trace (the determinism
+/// suite replays one trace at several worker counts).
+pub fn simulate_trace(spec: &FleetSimSpec, trace: Vec<SimRequest>) -> SimReport {
+    let t0 = std::time::Instant::now();
+    let backend = ModelBackend::new(spec, &trace);
+    let states = ModelBackend::boards(spec);
+    let resident = vec![vec![Resident::Base; spec.regions as usize]; spec.boards];
+    let metrics = FleetMetrics::new();
+    let cfg = spec.sched_config();
+    let out = sched::run(&backend, &metrics, &cfg, trace, states, resident);
+    let quantiles = metrics.e2e_latency.quantiles(&[0.50, 0.99, 0.999]);
+    let served = metrics.requests_served.get();
+    let completed_s = out.completed.as_duration().as_secs_f64();
+    SimReport {
+        served,
+        failed: metrics.requests_failed.get(),
+        rejected: metrics.rejected.get(),
+        shed: metrics.shed.get(),
+        coalesced: metrics.coalesced.get(),
+        resident_hits: metrics.resident_hits.get(),
+        downloads: metrics.downloads.get(),
+        download_bytes: metrics.download_bytes.get(),
+        readback_bytes: metrics.readback_bytes.get(),
+        retries: metrics.retries.get(),
+        verify_failures: metrics.verify_failures.get(),
+        stolen: out.stolen,
+        completed: out.completed,
+        makespan_ns: out.busy_ns.iter().copied().max().unwrap_or(0),
+        p50: quantiles[0],
+        p99: quantiles[1],
+        p999: quantiles[2],
+        throughput_rps: if completed_s > 0.0 {
+            served as f64 / completed_s
+        } else {
+            f64::INFINITY
+        },
+        wall: t0.elapsed(),
+        event_log: out.event_log,
+        resident: out.resident,
+        snapshot: metrics.registry().snapshot(),
+        outcomes: out.outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_sizes_are_deterministic_and_shaped() {
+        let spec = FleetSimSpec::default();
+        let a = model_sizes(&spec);
+        let b = model_sizes(&spec);
+        assert_eq!(a.len(), (spec.regions * spec.variants) as usize);
+        for (k, r) in &a {
+            assert_eq!(b[k], *r);
+            assert!(r.bytes_incremental < r.bytes_wholesale);
+            assert!(r.bytes_wholesale < r.bytes_full / 4);
+            assert!(r.bytes_verify >= r.bytes_wholesale);
+        }
+    }
+
+    #[test]
+    fn miss_set_charges_first_toucher_only() {
+        let spec = FleetSimSpec {
+            requests: 500,
+            ..FleetSimSpec::default()
+        };
+        let r = simulate(&spec);
+        let misses = r.outcomes.iter().filter(|o| !o.store_hit).count();
+        assert_eq!(
+            misses as u64,
+            r.snapshot
+                .counter_total("fleet_store_misses_total")
+                .unwrap(),
+        );
+        assert!(misses <= (spec.regions * spec.variants) as usize);
+    }
+
+    #[test]
+    fn report_quantiles_come_from_the_e2e_histogram() {
+        let spec = FleetSimSpec {
+            requests: 2_000,
+            ..FleetSimSpec::default()
+        };
+        let r = simulate(&spec);
+        assert!(r.p50 <= r.p99 && r.p99 <= r.p999);
+        assert!(r.p999 > Duration::ZERO);
+        assert_eq!(
+            r.snapshot.histogram_quantile("fleet_e2e_latency_us", 0.99),
+            Some(r.p99)
+        );
+        assert!(r.throughput_rps > 0.0);
+        assert!(r.makespan_ns > 0);
+    }
+}

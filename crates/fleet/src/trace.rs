@@ -1,0 +1,214 @@
+//! Synthetic request-trace generation for fleet-scale simulation.
+//!
+//! The on-demand co-processor workload (many users demanding many
+//! variants against a bounded device pool) has two defining features
+//! the scheduler must survive: *skew* — a few variants are vastly more
+//! popular than the tail — and *burstiness* — arrivals cluster instead
+//! of trickling in uniformly. [`TraceSpec`] models both: variant
+//! popularity is Zipf-distributed over the `(region, variant)` key
+//! space, and inter-arrival gaps are exponential with an on/off burst
+//! phase that compresses gaps during bursts.
+//!
+//! Everything is drawn from one seeded [`StdRng`], so a spec is a
+//! complete, replayable description of a workload.
+
+use crate::sched::{Priority, SimRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic trace.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Total number of requests to generate.
+    pub requests: usize,
+    /// Number of reconfigurable regions on each board.
+    pub regions: u32,
+    /// Number of variants per region.
+    pub variants: u32,
+    /// Zipf skew exponent over the `(region, variant)` key space;
+    /// `0.0` is uniform, `1.1` matches the benchmark sweep.
+    pub zipf_s: f64,
+    /// Mean inter-arrival gap outside bursts, virtual nanoseconds.
+    pub mean_gap_ns: u64,
+    /// Burstiness: during a burst phase gaps shrink by this factor
+    /// (`1` disables bursts).
+    pub burst: u64,
+    /// Fraction of requests tagged [`Priority::High`].
+    pub high_fraction: f64,
+    /// Fraction of requests tagged [`Priority::Low`].
+    pub low_fraction: f64,
+    /// RNG seed; the whole trace is a pure function of the spec.
+    pub seed: u64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> TraceSpec {
+        TraceSpec {
+            requests: 1024,
+            regions: 4,
+            variants: 8,
+            zipf_s: 1.1,
+            mean_gap_ns: 2_000,
+            burst: 8,
+            high_fraction: 0.05,
+            low_fraction: 0.10,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+impl TraceSpec {
+    /// Generate the trace: requests sorted by arrival time, ids equal
+    /// to their index.
+    pub fn generate(&self) -> Vec<SimRequest> {
+        assert!(self.regions > 0 && self.variants > 0, "empty key space");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let keys = (self.regions as usize) * (self.variants as usize);
+
+        // Zipf CDF over ranks, then a shuffled rank → key permutation so
+        // the popular keys are not always the low-numbered ones.
+        let mut cdf = Vec::with_capacity(keys);
+        let mut acc = 0.0f64;
+        for rank in 1..=keys {
+            acc += 1.0 / (rank as f64).powf(self.zipf_s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        let mut perm: Vec<u32> = (0..keys as u32).collect();
+        // Fisher–Yates off the same stream.
+        for i in (1..keys).rev() {
+            let j = rng.gen_range(0..(i + 1) as u64) as usize;
+            perm.swap(i, j);
+        }
+
+        let mut out = Vec::with_capacity(self.requests);
+        let mut at = 0u64;
+        // Burst phase machine: alternate quiet and burst spans whose
+        // lengths are themselves drawn from the stream.
+        let mut in_burst = false;
+        let mut phase_left: u64 = 0;
+        for id in 0..self.requests as u64 {
+            if phase_left == 0 && self.burst > 1 {
+                in_burst = !in_burst;
+                phase_left = if in_burst {
+                    rng.gen_range(8..64u64)
+                } else {
+                    rng.gen_range(16..128u64)
+                };
+            }
+            phase_left = phase_left.saturating_sub(1);
+
+            // Exponential inter-arrival: -ln(u) * mean, compressed
+            // inside a burst.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let mean = if in_burst {
+                (self.mean_gap_ns / self.burst).max(1)
+            } else {
+                self.mean_gap_ns.max(1)
+            };
+            let gap = (-u.ln() * mean as f64).min(u64::MAX as f64 / 2.0) as u64;
+            at = at.saturating_add(gap);
+
+            // Zipf draw → rank → permuted key.
+            let x = rng.gen_range(0.0..total);
+            let rank = cdf.partition_point(|&c| c < x).min(keys - 1);
+            let key = perm[rank];
+            let region = key / self.variants;
+            let variant = key % self.variants;
+
+            let p: f64 = rng.gen_range(0.0..1.0);
+            let priority = if p < self.high_fraction {
+                Priority::High
+            } else if p < self.high_fraction + self.low_fraction {
+                Priority::Low
+            } else {
+                Priority::Normal
+            };
+
+            out.push(SimRequest {
+                id,
+                at: crate::clock::Vt::from_ns(at),
+                region,
+                variant,
+                priority,
+                payload: (id & 0xF) as u32,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_sorted() {
+        let spec = TraceSpec {
+            requests: 500,
+            ..TraceSpec::default()
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.iter().enumerate().all(|(i, r)| r.id == i as u64));
+        assert!(a
+            .iter()
+            .all(|r| r.region < spec.regions && r.variant < spec.variants));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceSpec::default().generate();
+        let b = TraceSpec {
+            seed: 99,
+            ..TraceSpec::default()
+        }
+        .generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zipf_skews_popularity() {
+        let spec = TraceSpec {
+            requests: 20_000,
+            regions: 4,
+            variants: 16,
+            zipf_s: 1.1,
+            ..TraceSpec::default()
+        };
+        let trace = spec.generate();
+        let mut counts = vec![0usize; (spec.regions * spec.variants) as usize];
+        for r in &trace {
+            counts[(r.region * spec.variants + r.variant) as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // With s=1.1 over 64 keys the hottest key takes a large multiple
+        // of the uniform share (20000/64 ≈ 312).
+        assert!(counts[0] > 1_200, "hot key only got {} of 20000", counts[0]);
+        // ... and the top 8 keys together dominate the bottom 32.
+        let top: usize = counts[..8].iter().sum();
+        let bottom: usize = counts[32..].iter().sum();
+        assert!(top > 3 * bottom, "top={top} bottom={bottom}");
+    }
+
+    #[test]
+    fn priorities_roughly_match_fractions() {
+        let spec = TraceSpec {
+            requests: 10_000,
+            high_fraction: 0.2,
+            low_fraction: 0.3,
+            ..TraceSpec::default()
+        };
+        let trace = spec.generate();
+        let high = trace
+            .iter()
+            .filter(|r| r.priority == Priority::High)
+            .count();
+        let low = trace.iter().filter(|r| r.priority == Priority::Low).count();
+        assert!((1_000..3_000).contains(&high), "high={high}");
+        assert!((2_000..4_000).contains(&low), "low={low}");
+    }
+}

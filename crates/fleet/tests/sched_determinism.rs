@@ -1,0 +1,176 @@
+//! The scheduler's central guarantee: virtual results are a pure
+//! function of `(config, trace, seed)` — never of the worker count, the
+//! OS scheduler, or wall-clock interleaving. Same seed + same trace ⇒
+//! byte-identical event log, identical per-request outcomes, identical
+//! final residency, identical latency histograms, on any worker count.
+
+use fleet::sim::{simulate, FleetSimSpec, SimReport};
+use fleet::{OutcomeKind, Priority};
+
+fn spec() -> FleetSimSpec {
+    FleetSimSpec {
+        boards: 48,
+        shards: 12,
+        requests: 3_000,
+        regions: 3,
+        variants: 5,
+        fault_rate: 0.15,
+        queue_cap: 64,
+        shed_watermark: 48,
+        log_events: true,
+        seed: 0xD15C0,
+        ..FleetSimSpec::default()
+    }
+}
+
+fn run_with_workers(workers: usize) -> SimReport {
+    let mut s = spec();
+    s.workers = workers;
+    simulate(&s)
+}
+
+/// Everything the spec promises to hold fixed across worker counts.
+fn fingerprint(r: &SimReport) -> (usize, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.outcomes.len(),
+        r.served,
+        r.failed,
+        r.rejected,
+        r.shed,
+        r.retries,
+        r.download_bytes,
+        r.completed.ns(),
+    )
+}
+
+#[test]
+fn identical_results_at_1_2_and_8_workers() {
+    let base = run_with_workers(1);
+    for workers in [2, 8] {
+        let other = run_with_workers(workers);
+        assert_eq!(
+            fingerprint(&base),
+            fingerprint(&other),
+            "totals diverged at {workers} workers"
+        );
+        assert_eq!(
+            base.outcomes, other.outcomes,
+            "per-request outcomes diverged at {workers} workers"
+        );
+        assert_eq!(
+            base.resident, other.resident,
+            "final board residency diverged at {workers} workers"
+        );
+        assert_eq!(
+            base.event_log, other.event_log,
+            "event log diverged at {workers} workers"
+        );
+        // The full metric snapshot — counters, gauges, and every latency
+        // histogram bucket — is also identical: latency quantiles are a
+        // pure function of the trace, not the thread schedule.
+        assert_eq!(
+            base.snapshot, other.snapshot,
+            "metric snapshot diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let a = run_with_workers(0); // 0 = all available cores
+    let b = run_with_workers(0);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.event_log, b.event_log);
+    assert_eq!(a.snapshot, b.snapshot);
+}
+
+#[test]
+fn different_seeds_change_the_schedule() {
+    let a = run_with_workers(1);
+    let mut s = spec();
+    s.seed ^= 0xBEEF;
+    s.workers = 1;
+    let b = simulate(&s);
+    assert_ne!(a.event_log, b.event_log, "seed must drive the schedule");
+}
+
+/// Golden event-log fixture: a small seeded scenario whose merged event
+/// log is pinned byte-for-byte. Regenerate deliberately with
+/// `BLESS_SCHED_LOG=1 cargo test -p fleet --test sched_determinism`.
+#[test]
+fn event_log_matches_golden_fixture() {
+    let s = FleetSimSpec {
+        boards: 4,
+        shards: 2,
+        workers: 1,
+        requests: 24,
+        regions: 2,
+        variants: 2,
+        fault_rate: 0.25,
+        log_events: true,
+        seed: 7,
+        ..FleetSimSpec::default()
+    };
+    let r = simulate(&s);
+    let rendered = r.event_log.join("\n") + "\n";
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/sched_event_log.txt"
+    );
+    if std::env::var_os("BLESS_SCHED_LOG").is_some() {
+        std::fs::write(path, &rendered).expect("bless fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden fixture missing — run with BLESS_SCHED_LOG=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "event log diverged from the golden fixture; if the scheduler \
+         intentionally changed, re-bless with BLESS_SCHED_LOG=1"
+    );
+}
+
+/// Metrics label cardinality tracks shards, not boards: growing the
+/// fleet 16x at a fixed shard count must not add a single label set.
+#[test]
+fn snapshot_size_is_independent_of_board_count() {
+    let small = simulate(&FleetSimSpec {
+        boards: 32,
+        shards: 8,
+        requests: 500,
+        seed: 11,
+        ..FleetSimSpec::default()
+    });
+    let large = simulate(&FleetSimSpec {
+        boards: 512,
+        shards: 8,
+        requests: 500,
+        seed: 11,
+        ..FleetSimSpec::default()
+    });
+    assert_eq!(
+        small.snapshot.samples.len(),
+        large.snapshot.samples.len(),
+        "label cardinality must scale with shards, not boards"
+    );
+}
+
+/// Virtual-time outcomes are internally consistent regardless of how
+/// requests were classified.
+#[test]
+fn outcome_classification_is_exhaustive_and_typed() {
+    let r = simulate(&spec());
+    for o in &r.outcomes {
+        match o.kind {
+            OutcomeKind::Served { .. } => assert!(o.error.is_none()),
+            OutcomeKind::Failed => assert!(o.error.is_some()),
+            OutcomeKind::Rejected => {
+                assert!(o.error.as_deref().is_some_and(|e| e.contains("queue full")))
+            }
+            OutcomeKind::Shed => {
+                assert_eq!(o.priority, Priority::Low);
+                assert!(o.error.as_deref().is_some_and(|e| e.contains("shed")));
+            }
+        }
+    }
+}

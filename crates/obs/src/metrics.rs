@@ -75,6 +75,13 @@ impl Gauge {
         }
     }
 
+    /// Record an absolute level (e.g. a per-shard queue depth merged in
+    /// after a run), updating the high-water mark.
+    pub fn record_level(&self, level: i64) {
+        self.current.store(level, Ordering::Relaxed);
+        self.high.fetch_max(level, Ordering::Relaxed);
+    }
+
     /// Current level.
     pub fn current(&self) -> i64 {
         self.current.load(Ordering::Relaxed)
@@ -100,6 +107,17 @@ pub mod presets {
     /// Wall-clock buckets for CAD/generation stages: 10 µs – 1 s.
     pub const STAGE_WALL_US: [u64; 10] = [
         10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000,
+    ];
+
+    /// Virtual-time end-to-end latency buckets for the fleet scheduler:
+    /// 1 µs – 10 s. Arrival-to-completion latency at scale spans queue
+    /// wait plus retries on top of the raw SelectMAP download, so the
+    /// range reaches far past [`SELECTMAP_LATENCY_US`] — wide enough
+    /// that a p999 extraction still lands in a real bucket instead of
+    /// the overflow.
+    pub const FLEET_VIRTUAL_US: [u64; 22] = [
+        1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+        200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
     ];
 }
 
@@ -214,6 +232,13 @@ impl Histogram {
             }
         }
         self.max()
+    }
+
+    /// Batch quantile extraction: one pass per requested quantile over
+    /// the bucket counts (see [`Histogram::quantile`] for the bucket
+    /// upper-bound semantics).
+    pub fn quantiles(&self, ps: &[f64]) -> Vec<Duration> {
+        ps.iter().map(|&p| self.quantile(p)).collect()
     }
 
     /// One-line summary for reports.

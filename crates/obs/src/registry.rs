@@ -236,6 +236,66 @@ impl Snapshot {
         }
         found
     }
+
+    /// The `p`-quantile (0 < p ≤ 1) of the histogram named `name`,
+    /// extracted from the exported bucket counts and merged across label
+    /// sets sharing the same bucket bounds. Semantics match
+    /// [`crate::Histogram::quantile`]: the answer is the upper bound of
+    /// the bucket containing the quantile sample, with the overflow
+    /// bucket reporting the observed maximum. `None` when no histogram
+    /// sample carries the name (an empty histogram reports zero).
+    pub fn histogram_quantile(&self, name: &str, p: f64) -> Option<std::time::Duration> {
+        let mut bounds: Option<&[u64]> = None;
+        let mut merged: Vec<u64> = Vec::new();
+        let mut total = 0u64;
+        let mut max_ns = 0u64;
+        for s in &self.samples {
+            if s.name != name {
+                continue;
+            }
+            if let Value::Histogram {
+                bounds_us,
+                buckets,
+                count,
+                max_ns: m,
+                ..
+            } = &s.value
+            {
+                match bounds {
+                    None => {
+                        bounds = Some(bounds_us);
+                        merged = buckets.clone();
+                    }
+                    Some(b) if b == bounds_us.as_slice() => {
+                        for (acc, v) in merged.iter_mut().zip(buckets) {
+                            *acc += v;
+                        }
+                    }
+                    // Mixed bucket layouts under one name cannot merge;
+                    // keep the first layout's answer.
+                    Some(_) => continue,
+                }
+                total += count;
+                max_ns = max_ns.max(*m);
+            }
+        }
+        let bounds = bounds?;
+        if total == 0 {
+            return Some(std::time::Duration::ZERO);
+        }
+        let target = ((total as f64) * p).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, c) in merged.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(match bounds.get(i) {
+                    Some(&us) => std::time::Duration::from_micros(us),
+                    None => std::time::Duration::from_nanos(max_ns),
+                });
+            }
+        }
+        Some(std::time::Duration::from_nanos(max_ns))
+    }
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -320,6 +380,58 @@ mod tests {
         let h = r.histogram_with("lat_us", &[], &[10, 20]);
         let again = r.histogram_with("lat_us", &[], &[1, 2, 3]);
         assert_eq!(h.bounds_us(), again.bounds_us());
+    }
+
+    #[test]
+    fn snapshot_histogram_quantiles_merge_label_sets() {
+        use std::time::Duration;
+        let r = Registry::new();
+        let a = r.histogram_with("lat_us", &[("shard", "0")], &[10, 100, 1000]);
+        let b = r.histogram_with("lat_us", &[("shard", "1")], &[10, 100, 1000]);
+        for us in [5u64, 8, 50] {
+            a.record(Duration::from_micros(us));
+        }
+        for us in [60u64, 70, 900] {
+            b.record(Duration::from_micros(us));
+        }
+        let snap = r.snapshot();
+        // 6 samples merged: p50 -> 100 µs bucket, p≤0.33 -> 10 µs bucket.
+        assert_eq!(
+            snap.histogram_quantile("lat_us", 0.5),
+            Some(Duration::from_micros(100))
+        );
+        assert_eq!(
+            snap.histogram_quantile("lat_us", 0.33),
+            Some(Duration::from_micros(10))
+        );
+        assert_eq!(
+            snap.histogram_quantile("lat_us", 1.0),
+            Some(Duration::from_micros(1000))
+        );
+        assert_eq!(snap.histogram_quantile("absent_us", 0.5), None);
+        // Overflow bucket reports the observed maximum across label sets.
+        b.record(Duration::from_micros(5000));
+        assert_eq!(
+            r.snapshot().histogram_quantile("lat_us", 1.0),
+            Some(Duration::from_micros(5000))
+        );
+        // Empty histograms answer zero, not None.
+        let r2 = Registry::new();
+        r2.histogram("fresh_us", &[]);
+        assert_eq!(
+            r2.snapshot().histogram_quantile("fresh_us", 0.99),
+            Some(Duration::ZERO)
+        );
+    }
+
+    #[test]
+    fn gauge_record_level_sets_current_and_high_water() {
+        let r = Registry::new();
+        let g = r.gauge("depth", &[]);
+        g.record_level(7);
+        g.record_level(3);
+        assert_eq!(g.current(), 3);
+        assert_eq!(g.high_water(), 7);
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub mod port;
 pub use board::SimBoard;
 pub use fabric::{DecodeError, FabricModel, FabricSim};
 pub use multiboard::MultiBoard;
-pub use port::{FaultInjector, SelectMap, SELECTMAP_HZ};
+pub use port::{FaultInjector, FaultKind, SelectMap, SELECTMAP_HZ};

@@ -58,12 +58,37 @@ impl FaultInjector {
     pub fn injected(&self) -> u64 {
         self.injected
     }
+
+    /// Decide the fate of the next download. Consumes exactly the same
+    /// generator draws whether or not a fault fires, so the *k*-th load
+    /// on a given `(rate, seed)` injector always meets the same fate —
+    /// the property both [`SelectMap::load`] and the fleet's virtual-
+    /// time scheduler rely on to replay schedules from a seed.
+    pub fn draw(&mut self) -> FaultKind {
+        let rate = self.rate;
+        if self.rng.gen_bool(rate) {
+            self.injected += 1;
+            if self.rng.gen_bool(0.5) {
+                FaultKind::Drop
+            } else {
+                FaultKind::Corrupt
+            }
+        } else {
+            FaultKind::Clean
+        }
+    }
 }
 
-/// What the injector decided for one load.
-enum FaultDraw {
+/// What a [`FaultInjector`] decided for one load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The download goes through untouched.
     Clean,
+    /// The transfer aborts mid-stream ([`ConfigError::TransferFault`]);
+    /// nothing commits but the cable time is spent.
     Drop,
+    /// The download "succeeds" with one bit of one written frame
+    /// flipped — only a readback compare catches it.
     Corrupt,
 }
 
@@ -113,34 +138,22 @@ impl SelectMap {
         // "span" carries the model's duration, not wall-clock.
         obs::record_duration("download", download_time(bs.byte_len()));
         let draw = match &mut self.fault {
-            Some(f) => {
-                let rate = f.rate;
-                if f.rng.gen_bool(rate) {
-                    f.injected += 1;
-                    if f.rng.gen_bool(0.5) {
-                        FaultDraw::Drop
-                    } else {
-                        FaultDraw::Corrupt
-                    }
-                } else {
-                    FaultDraw::Clean
-                }
-            }
-            None => FaultDraw::Clean,
+            Some(f) => f.draw(),
+            None => FaultKind::Clean,
         };
         match draw {
-            FaultDraw::Clean => {}
-            FaultDraw::Drop => {
+            FaultKind::Clean => {}
+            FaultKind::Drop => {
                 obs::counter!("simboard_faults_injected_total", "kind" => "drop").inc();
             }
-            FaultDraw::Corrupt => {
+            FaultKind::Corrupt => {
                 obs::counter!("simboard_faults_injected_total", "kind" => "corrupt").inc();
             }
         }
         match draw {
-            FaultDraw::Clean => self.interp.feed(bs),
-            FaultDraw::Drop => Err(ConfigError::TransferFault),
-            FaultDraw::Corrupt => {
+            FaultKind::Clean => self.interp.feed(bs),
+            FaultKind::Drop => Err(ConfigError::TransferFault),
+            FaultKind::Corrupt => {
                 // Land the corruption inside a frame this load wrote, so
                 // a retry of the same stream is guaranteed to heal it:
                 // the dirty byproduct of the feed is the victim pool.
@@ -189,9 +202,15 @@ impl SelectMap {
     }
 }
 
+/// Download time for `bytes` under the SelectMAP model, in nanoseconds —
+/// the integer the fleet's discrete-event virtual clock advances by.
+pub fn download_ns(bytes: usize) -> u64 {
+    bytes as u64 * 1_000_000_000 / SELECTMAP_HZ
+}
+
 /// Download time for `bytes` under the SelectMAP model.
 pub fn download_time(bytes: usize) -> Duration {
-    Duration::from_nanos(bytes as u64 * 1_000_000_000 / SELECTMAP_HZ)
+    Duration::from_nanos(download_ns(bytes))
 }
 
 /// TCK frequency of the modeled JTAG port.
@@ -217,6 +236,23 @@ mod tests {
         let t1 = download_time(1000);
         let t3 = download_time(3000);
         assert_eq!(t3, t1 * 3);
+        assert_eq!(download_ns(1000), download_time(1000).as_nanos() as u64);
+    }
+
+    #[test]
+    fn fault_draws_are_deterministic_per_seed() {
+        let fates = |seed: u64| -> Vec<FaultKind> {
+            let mut f = FaultInjector::new(0.5, seed);
+            (0..64).map(|_| f.draw()).collect()
+        };
+        assert_eq!(fates(9), fates(9), "same seed, same fate sequence");
+        assert_ne!(fates(9), fates(10), "different seeds diverge");
+        let mut f = FaultInjector::new(0.0, 3);
+        assert!((0..32).all(|_| f.draw() == FaultKind::Clean));
+        assert_eq!(f.injected(), 0);
+        let mut f = FaultInjector::new(1.0, 3);
+        assert!((0..32).all(|_| f.draw() != FaultKind::Clean));
+        assert_eq!(f.injected(), 32);
     }
 
     #[test]
