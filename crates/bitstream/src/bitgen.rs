@@ -99,6 +99,38 @@ pub fn coalesce_frames_bridged_into(
     }
 }
 
+/// [`coalesce_frames_bridged`] that additionally refuses to merge runs
+/// across `boundaries`: a sorted list of frame indices at which a new
+/// relocation region begins. Two regions that happen to sit adjacent in
+/// frame space after relocation still have **different origins** — a
+/// bridged run spanning both would re-emit bridge frames that belong to
+/// the neighbouring region's stream, so the relocation engine and the
+/// defragmenter's store must keep their runs separate even where plain
+/// bridging would merge them.
+pub fn coalesce_frames_bridged_bounded(
+    mut frames: Vec<usize>,
+    max_gap: usize,
+    boundaries: &[usize],
+) -> Vec<FrameRange> {
+    debug_assert!(
+        boundaries.windows(2).all(|w| w[0] <= w[1]),
+        "unsorted boundaries"
+    );
+    frames.sort_unstable();
+    frames.dedup();
+    let region_of = |f: usize| boundaries.partition_point(|&b| b <= f);
+    let mut out: Vec<FrameRange> = Vec::new();
+    for &f in &frames {
+        match out.last_mut() {
+            Some(r) if f - (r.start + r.len) <= max_gap && region_of(f) == region_of(r.start) => {
+                r.len = f - r.start + 1
+            }
+            _ => out.push(FrameRange::new(f, 1)),
+        }
+    }
+    out
+}
+
 fn frame_payload(mem: &ConfigMemory, range: FrameRange) -> Vec<u32> {
     let fw = mem.frame_words();
     let mut data = Vec::with_capacity((range.len + 1) * fw);
@@ -397,6 +429,54 @@ mod tests {
         assert_eq!(runs.len(), 2); // gap of 2 between 3 and 6: not bridged
         let runs = coalesce_frames_bridged(vec![3, 5, 6], 1);
         assert_eq!(runs, vec![FrameRange::new(3, 4)]);
+        let mut dev = crate::Interpreter::new(Device::XCV50);
+        dev.feed(&partial_bitstream_par(&mem, &runs)).unwrap();
+        assert_eq!(dev.memory(), &mem);
+    }
+
+    #[test]
+    fn bounded_bridging_stops_at_region_boundaries() {
+        // Frames 10,11 | gap | 13,14 with a region boundary at 13: plain
+        // bridging would merge across the gap, bounded must not — the
+        // two sides belong to regions with different origins.
+        let frames = vec![10, 11, 13, 14];
+        assert_eq!(
+            coalesce_frames_bridged(frames.clone(), 1),
+            vec![FrameRange::new(10, 5)]
+        );
+        assert_eq!(
+            coalesce_frames_bridged_bounded(frames.clone(), 1, &[13]),
+            vec![FrameRange::new(10, 2), FrameRange::new(13, 2)]
+        );
+        // Even *adjacent* frames split at a boundary (gap 0 merge is
+        // still a merge across origins).
+        assert_eq!(
+            coalesce_frames_bridged_bounded(vec![12, 13], 1, &[13]),
+            vec![FrameRange::new(12, 1), FrameRange::new(13, 1)]
+        );
+        // No boundaries: identical to plain bridging.
+        assert_eq!(
+            coalesce_frames_bridged_bounded(frames.clone(), 1, &[]),
+            coalesce_frames_bridged(frames.clone(), 1)
+        );
+        // A boundary outside the touched span changes nothing.
+        assert_eq!(
+            coalesce_frames_bridged_bounded(frames, 1, &[100]),
+            vec![FrameRange::new(10, 5)]
+        );
+    }
+
+    #[test]
+    fn bounded_bridging_matches_device_state_per_region() {
+        // Two relocated regions adjacent in frame space: the bounded
+        // runs still land the right device state and neither run leaks
+        // into the other region's frames.
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        mem.set_bit(20, 3, true);
+        mem.set_bit(22, 4, true); // same region, 1-frame gap: bridged
+        mem.set_bit(23, 5, true); // next region starts at frame 23
+        let runs = coalesce_frames_bridged_bounded(mem.dirty_frames(), 1, &[23]);
+        assert_eq!(runs, vec![FrameRange::new(20, 3), FrameRange::new(23, 1)]);
         let mut dev = crate::Interpreter::new(Device::XCV50);
         dev.feed(&partial_bitstream_par(&mem, &runs)).unwrap();
         assert_eq!(dev.memory(), &mem);

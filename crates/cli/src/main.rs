@@ -7,9 +7,11 @@
 //!         --out <partial.bit> [--merge <updated-base.bit>] [--floorplan]
 //! jpg-cli report [--workload fig4|smoke] [--format table|json|prometheus|jsonl]
 //!         [--repeat N] [--check-schema]
+//! jpg-cli relocate --in <partial.bit> --out <moved.bit> --delta N [--bram-delta N]
 //! jpg-cli fleet-sim [--boards N] [--requests N] [--shards N] [--workers N]
 //!         [--seed S] [--zipf S] [--fault-rate F] [--mode partial|full]
 //!         [--regions N] [--variants N] [--queue-cap N] [--shed-watermark N]
+//!         [--defrag] [--slots N] [--defrag-idle-ns N]
 //!         [--format table|json] [--log-events]
 //! ```
 
@@ -24,6 +26,7 @@ fn main() -> ExitCode {
         Some("info") => info(&args[1..]),
         Some("partial") => partial(&args[1..]),
         Some("report") => report(&args[1..]),
+        Some("relocate") => relocate_cmd(&args[1..]),
         Some("fleet-sim") => fleet_sim(&args[1..]),
         _ => {
             eprintln!(
@@ -31,10 +34,12 @@ fn main() -> ExitCode {
                  --xdl <mod.xdl> --ucf <mod.ucf> --out <partial.bit> \
                  [--merge <updated.bit>] [--floorplan]\n  jpg-cli report \
                  [--workload fig4|smoke] [--format table|json|prometheus|jsonl] \
-                 [--repeat N] [--check-schema]\n  jpg-cli fleet-sim \
+                 [--repeat N] [--check-schema]\n  jpg-cli relocate --in <partial.bit> \
+                 --out <moved.bit> --delta N [--bram-delta N]\n  jpg-cli fleet-sim \
                  [--boards N] [--requests N] [--shards N] [--workers N] [--seed S] \
                  [--zipf S] [--fault-rate F] [--mode partial|full] [--regions N] \
                  [--variants N] [--queue-cap N] [--shed-watermark N] \
+                 [--defrag] [--slots N] [--defrag-idle-ns N] \
                  [--format table|json] [--log-events]"
             );
             ExitCode::from(2)
@@ -208,6 +213,62 @@ fn report(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Relocate a partial bitstream to a new column origin: rewrite its FAR
+/// sequence, re-stitch the CRC, and reject resource-incompatible moves
+/// with the engine's typed errors.
+fn relocate_cmd(args: &[String]) -> ExitCode {
+    let (flags, _) = parse_flags(args);
+    let need = |k: &str| -> Result<String, String> {
+        flags
+            .get(k)
+            .filter(|v| !v.is_empty())
+            .cloned()
+            .ok_or_else(|| format!("relocate: missing --{k}"))
+    };
+    let run = || -> Result<(), String> {
+        let in_path = need("in")?;
+        let out_path = need("out")?;
+        let parse_delta = |k: &str| -> Result<i32, String> {
+            match flags.get(k).filter(|v| !v.is_empty()) {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("relocate: --{k} wants an integer, got {v:?}")),
+                None => Ok(0),
+            }
+        };
+        let spec = reloc::RelocSpec {
+            clb_delta: parse_delta("delta")?,
+            bram_delta: parse_delta("bram-delta")?,
+        };
+
+        let bytes = std::fs::read(&in_path).map_err(|e| format!("{in_path}: {e}"))?;
+        let file = BitFile::from_bytes(&bytes).map_err(|e| format!("{in_path}: {e}"))?;
+        if !file.partial {
+            return Err(format!(
+                "{in_path}: relocation applies to partial bitstreams only"
+            ));
+        }
+        let moved = reloc::relocate(file.device, &file.bitstream, spec)
+            .map_err(|e| format!("{in_path}: {e}"))?;
+        eprintln!(
+            "relocate: {} on {} shifted by {:+} CLB columns / {:+} BRAM majors ({} bytes)",
+            file.design,
+            file.device,
+            spec.clb_delta,
+            spec.bram_delta,
+            moved.byte_len()
+        );
+        let out = BitFile::new(file.design, file.device, true, moved);
+        std::fs::write(&out_path, out.to_bytes()).map_err(|e| format!("{out_path}: {e}"))?;
+        eprintln!("wrote {out_path}");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
 /// Drive the event-driven fleet scheduler over a synthetic Zipf/bursty
 /// trace and report virtual-time latency quantiles plus throughput.
 fn fleet_sim(args: &[String]) -> ExitCode {
@@ -260,6 +321,13 @@ fn fleet_sim(args: &[String]) -> ExitCode {
             Some(m) => return Err(format!("fleet-sim: unknown mode {m:?}")),
         }
         spec.log_events = flags.contains_key("log-events");
+        spec.defrag = flags.contains_key("defrag");
+        parse_usize("slots", &mut spec.slots)?;
+        if let Some(v) = flags.get("defrag-idle-ns").filter(|v| !v.is_empty()) {
+            spec.defrag_idle_ns = v
+                .parse()
+                .map_err(|_| format!("fleet-sim: --defrag-idle-ns wants an integer, got {v:?}"))?;
+        }
         if spec.boards == 0 || spec.requests == 0 {
             return Err("fleet-sim: --boards and --requests must be positive".into());
         }
@@ -323,6 +391,12 @@ fn render_fleet_table(spec: &fleet::FleetSimSpec, r: &fleet::SimReport) -> Strin
         r.p99.as_micros(),
         r.p999.as_micros()
     ));
+    if spec.defrag {
+        s.push_str(&format!(
+            "defrag   : fragmentation {} -> {}, {} migrations ({} retried)\n",
+            r.frag_initial, r.frag_final, r.migrations, r.migration_retries
+        ));
+    }
     s.push_str(&format!("wall     : {:.3} s\n", r.wall.as_secs_f64()));
     s
 }
@@ -337,6 +411,8 @@ fn render_fleet_json(spec: &fleet::FleetSimSpec, r: &fleet::SimReport) -> String
             "\"download_bytes\":{},\"readback_bytes\":{},\"retries\":{},",
             "\"verify_failures\":{},\"stolen\":{},\"makespan_ns\":{},",
             "\"throughput_rps\":{:.1},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},",
+            "\"migrations\":{},\"migration_retries\":{},",
+            "\"frag_initial\":{},\"frag_final\":{},",
             "\"wall_s\":{:.3}}}"
         ),
         spec.boards,
@@ -367,6 +443,10 @@ fn render_fleet_json(spec: &fleet::FleetSimSpec, r: &fleet::SimReport) -> String
         r.p50.as_micros(),
         r.p99.as_micros(),
         r.p999.as_micros(),
+        r.migrations,
+        r.migration_retries,
+        r.frag_initial,
+        r.frag_final,
         r.wall.as_secs_f64(),
     )
 }

@@ -248,6 +248,160 @@ fn cli_rejects_bad_inputs() {
 }
 
 #[test]
+fn relocate_command_moves_a_partial_end_to_end() {
+    use bitstream::bitgen::{self, FrameRange};
+    use virtex::{BlockType, ConfigMemory};
+
+    let dir = tmpdir("relocate");
+    let device = Device::XCV50;
+    // Stamp a relative pattern into a column span and write it as a
+    // partial .bit file (the same shape `jpg-cli partial` emits).
+    let stamp = |cols: &[usize]| {
+        let mut mem = ConfigMemory::new(device);
+        let geom = mem.geometry().clone();
+        for (rel, &c) in cols.iter().enumerate() {
+            let major = geom.major_for_clb_col(c).unwrap();
+            let r = FrameRange::for_column(&geom, BlockType::Clb, major).unwrap();
+            for (minor, f) in r.frames().enumerate() {
+                mem.frame_mut(f)[0] = 0x8000_0000 | (rel as u32) << 16 | minor as u32;
+            }
+        }
+        let runs = bitgen::coalesce_frames(mem.dirty_frames());
+        bitgen::partial_bitstream(&mem, &runs)
+    };
+    let src = stamp(&[3, 4]);
+    let in_path = dir.join("src.bit");
+    let out_path = dir.join("moved.bit");
+    let bf = bitstream::BitFile::new("span", device, true, src);
+    std::fs::write(&in_path, bf.to_bytes()).unwrap();
+
+    let out = Command::new(bin())
+        .args([
+            "relocate",
+            "--in",
+            in_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+            "--delta",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "relocate failed: {stderr}");
+    assert!(stderr.contains("+7 CLB columns"), "{stderr}");
+
+    // The output file is a partial whose payload is byte-identical to a
+    // partial freshly stamped at the target columns.
+    let moved = bitstream::BitFile::from_bytes(&std::fs::read(&out_path).unwrap()).unwrap();
+    assert!(moved.partial);
+    assert_eq!(moved.device, device);
+    assert_eq!(moved.bitstream.to_bytes(), stamp(&[10, 11]).to_bytes());
+
+    // Incompatible shifts surface the engine's typed error, not a panic
+    // and not an output file.
+    let bad = Command::new(bin())
+        .args([
+            "relocate",
+            "--in",
+            in_path.to_str().unwrap(),
+            "--out",
+            dir.join("nope.bit").to_str().unwrap(),
+            "--delta",
+            "30",
+        ])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("outside the device"), "{stderr}");
+    assert!(!dir.join("nope.bit").exists());
+
+    // Relocating a complete bitstream is refused up front.
+    let full_path = dir.join("full.bit");
+    let full = bitstream::BitFile::new(
+        "full",
+        device,
+        false,
+        bitstream::Bitstream::from_words(vec![]),
+    );
+    std::fs::write(&full_path, full.to_bytes()).unwrap();
+    let bad = Command::new(bin())
+        .args([
+            "relocate",
+            "--in",
+            full_path.to_str().unwrap(),
+            "--out",
+            dir.join("x.bit").to_str().unwrap(),
+            "--delta",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("partial bitstreams only"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_sim_defrag_compacts_and_stays_deterministic() {
+    let run = |workers: &str| {
+        let out = Command::new(bin())
+            .args([
+                "fleet-sim",
+                "--boards",
+                "16",
+                "--requests",
+                "800",
+                "--seed",
+                "21",
+                "--fault-rate",
+                "0.1",
+                "--defrag",
+                "--workers",
+                workers,
+                "--format",
+                "json",
+            ])
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "fleet-sim --defrag failed: {stderr}");
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let one = run("1");
+    assert!(one.contains("\"served\":800"), "{one}");
+    assert!(one.contains("\"frag_final\":0"), "{one}");
+    assert!(!one.contains("\"migrations\":0,"), "{one}");
+    let cut = |j: &str, w: &str| {
+        let at = j.find(",\"wall_s\"").unwrap();
+        j[..at].replace(&format!("\"workers\":{w},"), "")
+    };
+    let four = run("4");
+    assert_eq!(cut(&one, "1"), cut(&four, "4"), "defrag broke determinism");
+
+    // Table output carries the compaction summary.
+    let out = Command::new(bin())
+        .args([
+            "fleet-sim",
+            "--boards",
+            "16",
+            "--requests",
+            "800",
+            "--seed",
+            "21",
+            "--defrag",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.contains("defrag   : fragmentation"), "{table}");
+    assert!(table.contains("-> 0"), "{table}");
+}
+
+#[test]
 fn fleet_sim_reports_deterministic_scheduling() {
     // Table output carries the scheduling summary.
     let out = Command::new(bin())

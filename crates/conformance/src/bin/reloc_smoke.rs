@@ -1,0 +1,161 @@
+//! Relocation conformance smoke runner for CI.
+//!
+//! Two gates, both deterministic:
+//!
+//! 1. **Relocation trio** — seeds `base..base+cases` each run one
+//!    [`conformance::reloc_case`]: byte identity against a
+//!    fresh-at-target partial, device-side readback against the oracle
+//!    memory, and typed rejection of incompatible shifts. A CI failure
+//!    reproduces locally from the printed seed.
+//! 2. **Defrag determinism** — a fragmented model fleet at 10% port
+//!    faults runs with the online defragmenter at 1, 2 and 8 workers;
+//!    the merged event logs (migration lines included) must be
+//!    byte-identical, fragmentation must compact to zero, and every
+//!    request must eventually be served.
+//!
+//! Usage: `reloc_smoke [--cases N] [--seed S] [--skip-defrag]`
+
+use conformance::reloc_case;
+use fleet::sim::{simulate, FleetSimSpec};
+
+fn defrag_gate(seed: u64) -> u64 {
+    let spec = |workers| FleetSimSpec {
+        boards: 48,
+        shards: 12,
+        workers,
+        requests: 2_000,
+        regions: 3,
+        variants: 5,
+        fault_rate: 0.10,
+        log_events: true,
+        defrag: true,
+        seed,
+        ..FleetSimSpec::default()
+    };
+    let mut failures = 0u64;
+    let base = simulate(&spec(1));
+    if base.frag_initial == 0 {
+        eprintln!("FAIL (defrag): scattered layout reports zero initial fragmentation");
+        failures += 1;
+    }
+    if base.frag_final != 0 {
+        eprintln!(
+            "FAIL (defrag): fleet did not compact (fragmentation {} -> {})",
+            base.frag_initial, base.frag_final
+        );
+        failures += 1;
+    }
+    if base.migrations == 0 {
+        eprintln!("FAIL (defrag): no migrations on a fragmented fleet");
+        failures += 1;
+    }
+    if base.served != 2_000 {
+        eprintln!(
+            "FAIL (defrag): {}/2000 served — defrag must not cost a request",
+            base.served
+        );
+        failures += 1;
+    }
+    for workers in [2usize, 8] {
+        let other = simulate(&spec(workers));
+        if other.event_log != base.event_log {
+            eprintln!("FAIL (defrag): event log diverged at {workers} workers");
+            failures += 1;
+        }
+        if other.outcomes != base.outcomes {
+            eprintln!("FAIL (defrag): outcomes diverged at {workers} workers");
+            failures += 1;
+        }
+        if (other.migrations, other.migration_retries, other.frag_final)
+            != (base.migrations, base.migration_retries, base.frag_final)
+        {
+            eprintln!("FAIL (defrag): migration totals diverged at {workers} workers");
+            failures += 1;
+        }
+    }
+    println!(
+        "defrag gate: fragmentation {} -> {} via {} migrations ({} retried), \
+         {} served, logs identical at 1/2/8 workers",
+        base.frag_initial, base.frag_final, base.migrations, base.migration_retries, base.served
+    );
+    failures
+}
+
+fn main() {
+    let mut cases: u64 = 1_200;
+    let mut base_seed: u64 = 0;
+    let mut skip_defrag = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |k: usize| {
+            args.get(k + 1)
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{} needs a numeric argument", args[k]);
+                    std::process::exit(2);
+                })
+        };
+        match args[i].as_str() {
+            "--cases" => {
+                cases = need(i);
+                i += 2;
+            }
+            "--seed" => {
+                base_seed = need(i);
+                i += 2;
+            }
+            "--skip-defrag" => {
+                skip_defrag = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut failures = 0u64;
+    let mut frames = 0u64;
+    let mut bram_cases = 0u64;
+    let mut devices = std::collections::BTreeMap::new();
+
+    for seed in base_seed..base_seed + cases {
+        match reloc_case(seed) {
+            Ok(o) => {
+                frames += o.frames as u64;
+                bram_cases += u64::from(o.bram);
+                *devices.entry(format!("{:?}", o.device)).or_insert(0u64) += 1;
+            }
+            Err(f) => {
+                eprintln!("FAIL (reloc): {f}");
+                failures += 1;
+            }
+        }
+        if failures >= 5 {
+            eprintln!("stopping after 5 failures");
+            break;
+        }
+    }
+
+    if !skip_defrag {
+        failures += defrag_gate(base_seed ^ 0xDE_F2A6);
+    }
+
+    let dt = t0.elapsed();
+    println!(
+        "{cases} relocation cases ({frames} frames moved; {bram_cases} BRAM) in {:.1}s",
+        dt.as_secs_f64()
+    );
+    let dev_summary: Vec<String> = devices.iter().map(|(d, n)| format!("{d}:{n}")).collect();
+    println!("device mix: {}", dev_summary.join(" "));
+
+    if failures > 0 {
+        eprintln!("{failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("all checks passed");
+}

@@ -17,7 +17,11 @@
 //!   byte offset, never a panic, never silent acceptance;
 //! * [`mutation`] — the harness's own self-check: ten seeded generator
 //!   bugs that the checks above must catch (the CI gate requires at
-//!   least nine of ten detected).
+//!   least nine of ten detected);
+//! * [`reloc_trio`] — seeded relocation cases: every relocated partial
+//!   must be byte-identical to a fresh-at-target generation, land the
+//!   oracle's device state through the interpreter, and reject
+//!   incompatible shifts with a typed [`reloc::RelocError`].
 //!
 //! Any failure reproduces from `Campaign::generate(seed)` — the seed is
 //! printed in every [`harness::Failure`].
@@ -26,8 +30,10 @@ pub mod campaign;
 pub mod fuzz;
 pub mod harness;
 pub mod mutation;
+pub mod reloc_trio;
 
 pub use campaign::{Campaign, CampaignOp};
 pub use fuzz::{fuzz_case, Corruption};
 pub use harness::{run_batch, run_case, run_project_case, CaseOutcome, Failure, Schedule};
 pub use mutation::{self_check, SeededBug};
+pub use reloc_trio::{reloc_case, RelocOutcome, RELOC_DEVICES};

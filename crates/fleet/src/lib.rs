@@ -33,7 +33,8 @@ pub use clock::Vt;
 pub use library::{RegionCatalog, ServingLibrary, VariantSlot};
 pub use metrics::{Counter, FleetMetrics, Gauge, Histogram};
 pub use sched::{
-    Backend, Outcome, OutcomeKind, Priority, Resident, SchedConfig, ServeMode, SimRequest,
+    Backend, DefragConfig, Outcome, OutcomeKind, Priority, Resident, SchedConfig, ServeMode,
+    SimRequest,
 };
 pub use service::{Fleet, FleetConfig, FleetReport, Request, Response};
 pub use sim::{simulate, simulate_trace, FleetSimSpec, SimReport};

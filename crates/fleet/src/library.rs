@@ -250,6 +250,10 @@ impl ServingLibrary {
             device: self.device,
             region,
             variant,
+            // The serving library stamps at the region's floorplanned
+            // home; relocated origins are stitched downstream by the
+            // reloc engine and stored under their own origin.
+            origin: 0,
             epoch: self.store.epoch(),
         };
         let (result, hit) = self.store.get_or_generate(key, || {

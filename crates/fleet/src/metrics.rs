@@ -61,8 +61,17 @@ pub struct FleetMetrics {
     pub shed: Arc<Counter>,
     /// Queued requests migrated between shards at a rebalance barrier.
     pub stolen: Arc<Counter>,
+    /// Slot migrations the defragmenter completed (verified relocations
+    /// of resident regions into lower column slots).
+    pub migrations: Arc<Counter>,
+    /// Migration attempts that faulted and were retried or abandoned.
+    pub migration_retries: Arc<Counter>,
     /// Queue depth high-water mark (peak per-shard backlog).
     pub queue_depth: Arc<Gauge>,
+    /// Fleet-wide slot fragmentation (free holes below each board's
+    /// high-water slot, summed): recorded at run start and end, so
+    /// `high_water` is the initial level and `current` the final one.
+    pub fragmentation: Arc<Gauge>,
     /// Simulated port time per download attempt.
     pub download_latency: Arc<Histogram>,
     /// Simulated port time per verification readback.
@@ -109,7 +118,10 @@ impl FleetMetrics {
             rejected: c("fleet_rejected_total"),
             shed: c("fleet_shed_total"),
             stolen: c("fleet_stolen_total"),
+            migrations: c("fleet_migrations_total"),
+            migration_retries: c("fleet_migration_retries_total"),
             queue_depth: registry.gauge("fleet_queue_depth", &[]),
+            fragmentation: registry.gauge("fleet_fragmentation_slots", &[]),
             download_latency: registry.histogram_with(
                 "fleet_download_latency_us",
                 &[],
@@ -259,7 +271,7 @@ mod tests {
         assert!(snap.has_metric("fleet_queue_depth"));
         assert!(snap.has_metric("fleet_download_latency_us"));
         // Every instrument is registered up front, zeroed or not.
-        assert_eq!(snap.samples.len(), 20);
+        assert_eq!(snap.samples.len(), 23);
         // Two fleets never share numbers.
         let other = FleetMetrics::new();
         assert_eq!(other.downloads.get(), 0);

@@ -49,6 +49,7 @@
 use crate::clock::{EventQueue, Vt};
 use crate::metrics::FleetMetrics;
 use crate::FleetError;
+use reloc::{SlotMap, SlotMove};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -268,6 +269,32 @@ pub struct SchedConfig {
     pub coalesce: bool,
     /// Whether to record the per-event log (golden-trace fixtures).
     pub log_events: bool,
+    /// Online defragmentation policy; `None` leaves regions wherever
+    /// their initial layout put them.
+    pub defrag: Option<DefragConfig>,
+}
+
+/// Online defragmentation policy: every board tracks its regions'
+/// column-slot occupancy in a [`SlotMap`], and whenever a board sits
+/// idle for a dwell while holes exist below its high-water slot, the
+/// scheduler relocates the highest resident region into the lowest hole
+/// (one [`Backend::migrate`] download per move, fault-retried like any
+/// other). Migrations are ordinary scheduler events, so they interleave
+/// with request service deterministically.
+#[derive(Debug, Clone)]
+pub struct DefragConfig {
+    /// Column slots per board.
+    pub slots: usize,
+    /// Initial slot of region `i` — the layout every board starts with.
+    /// Slot indices must be distinct and below `slots`.
+    pub layout: Vec<usize>,
+    /// Idle dwell before an idle fragmented board starts its next
+    /// migration.
+    pub idle: Duration,
+    /// Migration attempts per planned move before the board's
+    /// defragmenter stands down (request service is never blocked on a
+    /// failed migration — copy-then-free leaves the source slot live).
+    pub max_attempts: u32,
 }
 
 impl Default for SchedConfig {
@@ -283,6 +310,7 @@ impl Default for SchedConfig {
             shed_watermark: usize::MAX,
             coalesce: true,
             log_events: false,
+            defrag: None,
         }
     }
 }
@@ -316,6 +344,21 @@ pub trait Backend: Sync {
     /// Produce the request's functional outputs on a board whose region
     /// verifiably runs the variant (drive pads, clock, sample).
     fn finish(&self, board: &mut Self::Board, region: u32, payload: u32) -> Vec<(String, bool)>;
+
+    /// Relocate `region`'s resident content into a new column slot on
+    /// `board` — one migration attempt, priced in virtual port time with
+    /// verification included, exactly like a download. Returning `None`
+    /// means this backend cannot relocate (the defragmenter then stands
+    /// down fleet-wide); the default backend never migrates.
+    fn migrate(
+        &self,
+        _board: &mut Self::Board,
+        _global: u32,
+        _region: u32,
+        _resident: Resident,
+    ) -> Option<DownloadResult> {
+        None
+    }
 }
 
 /// Everything the driver returns.
@@ -332,6 +375,17 @@ pub struct RunOutput<B: Backend> {
     pub completed: Vt,
     /// Requests migrated between shards at rebalance barriers.
     pub stolen: u64,
+    /// Slot migrations the defragmenter completed (verified moves).
+    pub migrations: u64,
+    /// Migration attempts that faulted and were retried or abandoned.
+    pub migration_retries: u64,
+    /// Summed per-board slot fragmentation before the run.
+    pub frag_initial: u64,
+    /// Summed per-board slot fragmentation after the run.
+    pub frag_final: u64,
+    /// Final slot occupancy per board, in global board order (empty
+    /// maps when defragmentation is off).
+    pub slots: Vec<SlotMap>,
     /// Merged event log (empty unless `log_events`).
     pub event_log: Vec<String>,
 }
@@ -339,8 +393,18 @@ pub struct RunOutput<B: Backend> {
 #[derive(Debug)]
 enum Ev {
     Arrive(SimRequest),
-    Complete { board: u32 },
+    Complete {
+        board: u32,
+    },
     Kick,
+    /// A board's idle dwell elapsed: consider starting a migration.
+    Defrag {
+        board: u32,
+    },
+    /// A migration attempt's port time elapsed.
+    MigrateDone {
+        board: u32,
+    },
 }
 
 struct Queued<B: Backend> {
@@ -359,10 +423,25 @@ struct Job<B: Backend> {
     last_status: DownloadStatus,
 }
 
+/// One in-flight slot migration on a board.
+struct Migration {
+    mv: SlotMove,
+    attempts: u32,
+    port_ns: u64,
+    last_status: DownloadStatus,
+}
+
 struct BoardCore<B: Backend> {
     state: B::Board,
     resident: Vec<Resident>,
     job: Option<Job<B>>,
+    /// In-flight migration; mutually exclusive with `job` (a migrating
+    /// board is out of the idle indexes, so it cannot be dispatched).
+    migr: Option<Migration>,
+    slots: SlotMap,
+    /// The defragmenter exhausted a move's attempt budget on this board
+    /// and stands down for the rest of the run.
+    defrag_dead: bool,
     busy_ns: u64,
 }
 
@@ -382,6 +461,11 @@ struct Shard<B: Backend> {
     idle_exact: HashMap<(u32, u32), BTreeSet<u32>>,
     idle_base: HashMap<u32, BTreeSet<u32>>,
     outcomes: Vec<Outcome>,
+    migrations: u64,
+    migration_retries: u64,
+    /// Set when the backend declines to migrate: no further dwell
+    /// timers are armed on this shard.
+    migrate_off: bool,
     log: Vec<(u64, u64, String)>,
 }
 
@@ -410,8 +494,16 @@ impl<B: Backend> Shard<B> {
     }
 
     /// Re-file a board in the idle indexes (call when it has no job).
+    /// An idle fragmented board arms a defragmentation dwell timer.
     fn index_insert(&mut self, b: u32) {
         self.idle.insert(b);
+        if let Some(d) = &self.cfg.defrag {
+            let core = &self.boards[b as usize];
+            if !self.migrate_off && !core.defrag_dead && core.slots.fragmentation() > 0 {
+                let due = self.now.after_ns(d.idle.as_nanos() as u64);
+                self.events.push(due, Ev::Defrag { board: b });
+            }
+        }
         let core = &self.boards[b as usize];
         match self.cfg.mode {
             ServeMode::Partial => {
@@ -485,6 +577,8 @@ impl<B: Backend> Shard<B> {
                 Ev::Arrive(req) => self.on_arrive(backend, m, req),
                 Ev::Complete { board } => self.on_complete(backend, m, board),
                 Ev::Kick => self.drain(backend, m),
+                Ev::Defrag { board } => self.on_defrag(backend, m, board),
+                Ev::MigrateDone { board } => self.on_migrate_done(backend, m, board),
             }
         }
     }
@@ -955,6 +1049,111 @@ impl<B: Backend> Shard<B> {
         }
         None
     }
+
+    /// A dwell timer fired. If the board is still idle and its slot map
+    /// has holes, take it out of service and start the next compaction
+    /// move. Timers from superseded idle periods are simply stale: the
+    /// board is busy (ignored here) and its next completion re-arms.
+    fn on_defrag(&mut self, backend: &B, m: &FleetMetrics, b: u32) {
+        if self.migrate_off || !self.idle.contains(&b) {
+            return;
+        }
+        let core = &self.boards[b as usize];
+        debug_assert!(core.job.is_none() && core.migr.is_none());
+        if core.defrag_dead {
+            return;
+        }
+        let Some(mv) = core.slots.plan_move() else {
+            return;
+        };
+        self.index_remove(b);
+        self.boards[b as usize].migr = Some(Migration {
+            mv,
+            attempts: 0,
+            port_ns: 0,
+            last_status: DownloadStatus::Verified,
+        });
+        self.begin_migration(backend, m, b);
+    }
+
+    /// Issue one migration attempt on a board whose `migr` is armed.
+    fn begin_migration(&mut self, backend: &B, m: &FleetMetrics, b: u32) {
+        let global = self.global(b);
+        let core = &mut self.boards[b as usize];
+        let mg = core.migr.as_mut().expect("migration armed");
+        let resident = core.resident[mg.mv.region as usize];
+        let Some(r) = backend.migrate(&mut core.state, global, mg.mv.region, resident) else {
+            // The backend cannot relocate resident content — stand down
+            // for the rest of the run and return the board to service.
+            core.migr = None;
+            self.migrate_off = true;
+            self.index_insert(b);
+            self.drain(backend, m);
+            return;
+        };
+        mg.attempts += 1;
+        mg.port_ns += r.download_ns + r.verify_ns;
+        mg.last_status = r.status;
+        let (mv, attempts, bytes) = (mg.mv, mg.attempts, r.bytes);
+        let due = self.now.after_ns(r.download_ns + r.verify_ns);
+        shlog!(
+            self,
+            "migrate-attempt board={global} {mv} n={attempts} bytes={bytes}"
+        );
+        self.events.push(due, Ev::MigrateDone { board: b });
+    }
+
+    fn on_migrate_done(&mut self, backend: &B, m: &FleetMetrics, b: u32) {
+        let global = self.global(b);
+        let core = &mut self.boards[b as usize];
+        let status = core
+            .migr
+            .as_ref()
+            .expect("completion on a non-migrating board")
+            .last_status
+            .clone();
+        match status {
+            DownloadStatus::Verified => {
+                let mg = core.migr.take().expect("checked above");
+                core.slots.apply(mg.mv);
+                core.busy_ns += mg.port_ns;
+                let (mv, attempts, frag) = (mg.mv, mg.attempts, core.slots.fragmentation());
+                self.migrations += 1;
+                m.migrations.inc();
+                shlog!(
+                    self,
+                    "migrate board={global} {mv} attempts={attempts} frag={frag}"
+                );
+                // index_insert re-arms the dwell while frag > 0, so the
+                // board keeps compacting across idle windows until the
+                // occupied prefix is solid.
+                self.index_insert(b);
+                self.drain(backend, m);
+            }
+            DownloadStatus::PortFault(_) | DownloadStatus::VerifyMismatch => {
+                self.migration_retries += 1;
+                m.migration_retries.inc();
+                let cap = self.cfg.defrag.as_ref().map_or(0, |d| d.max_attempts);
+                if core.migr.as_ref().expect("checked above").attempts < cap {
+                    self.begin_migration(backend, m, b);
+                    return;
+                }
+                // Copy-then-free: a failed relocation never released the
+                // source slot, so the board serves on — fragmented, but
+                // correct. Stand down to guarantee run termination.
+                let mg = core.migr.take().expect("checked above");
+                core.busy_ns += mg.port_ns;
+                core.defrag_dead = true;
+                let (mv, attempts) = (mg.mv, mg.attempts);
+                shlog!(
+                    self,
+                    "migrate-exhausted board={global} {mv} attempts={attempts}"
+                );
+                self.index_insert(b);
+                self.drain(backend, m);
+            }
+        }
+    }
 }
 
 /// A terminal (no-board) outcome: resolution failure, rejection, shed.
@@ -1086,6 +1285,20 @@ pub fn run<B: Backend>(
     }
     .clamp(1, nshards);
     let window_ns = (cfg.window.as_nanos() as u64).max(1);
+    // Every board starts from the configured slot layout; with no
+    // defrag policy the map is empty and the defragmenter never runs.
+    let init_slots = || match &cfg.defrag {
+        Some(d) => {
+            let mut s = SlotMap::new(d.slots);
+            for (r, &slot) in d.layout.iter().enumerate() {
+                s.place(r as u32, slot);
+            }
+            s
+        }
+        None => SlotMap::new(0),
+    };
+    let frag_initial = init_slots().fragmentation() as u64 * nboards as u64;
+    metrics.fragmentation.record_level(frag_initial as i64);
 
     let mut shards: Vec<Shard<B>> = (0..nshards)
         .map(|id| Shard {
@@ -1104,6 +1317,9 @@ pub fn run<B: Backend>(
             idle_exact: HashMap::new(),
             idle_base: HashMap::new(),
             outcomes: Vec::new(),
+            migrations: 0,
+            migration_retries: 0,
+            migrate_off: false,
             log: Vec::new(),
         })
         .collect();
@@ -1112,6 +1328,9 @@ pub fn run<B: Backend>(
             state,
             resident: res,
             job: None,
+            migr: None,
+            slots: init_slots(),
+            defrag_dead: false,
             busy_ns: 0,
         });
     }
@@ -1175,10 +1394,13 @@ pub fn run<B: Backend>(
     let mut outcomes = Vec::new();
     let mut states_out: Vec<Option<B::Board>> = (0..nboards).map(|_| None).collect();
     let mut resident_out = vec![Vec::new(); nboards];
+    let mut slots_out = vec![SlotMap::new(0); nboards];
     let mut busy_ns = vec![0u64; nboards];
     let mut completed = Vt::ZERO;
     let mut log = Vec::new();
     let mut queue_high = 0usize;
+    let mut migrations = 0u64;
+    let mut migration_retries = 0u64;
     for (sid, shard) in shards.into_iter().enumerate() {
         let shard = shard.into_inner().expect("shard lock");
         debug_assert!(shard.queued == 0, "drained scheduler left queued work");
@@ -1186,8 +1408,14 @@ pub fn run<B: Backend>(
             shard.boards.iter().all(|b| b.job.is_none()),
             "drained scheduler left a job in flight"
         );
+        debug_assert!(
+            shard.boards.iter().all(|b| b.migr.is_none()),
+            "drained scheduler left a migration in flight"
+        );
         completed = completed.max(shard.now);
         queue_high = queue_high.max(shard.queue_high);
+        migrations += shard.migrations;
+        migration_retries += shard.migration_retries;
         metrics.record_shard(
             sid,
             shard.outcomes.len() as u64,
@@ -1197,6 +1425,7 @@ pub fn run<B: Backend>(
             let g = sid + local * shard.nshards;
             states_out[g] = Some(core.state);
             resident_out[g] = core.resident;
+            slots_out[g] = core.slots;
             busy_ns[g] = core.busy_ns;
         }
         for (at, seq, text) in shard.log {
@@ -1204,6 +1433,8 @@ pub fn run<B: Backend>(
         }
         outcomes.extend(shard.outcomes);
     }
+    let frag_final: u64 = slots_out.iter().map(|s| s.fragmentation() as u64).sum();
+    metrics.fragmentation.record_level(frag_final as i64);
     outcomes.sort_by_key(|o| (o.id, o.payload));
     log.sort_by_key(|a| (a.0, a.1, a.2));
     let event_log = log
@@ -1222,6 +1453,11 @@ pub fn run<B: Backend>(
         busy_ns,
         completed,
         stolen,
+        migrations,
+        migration_retries,
+        frag_initial,
+        frag_final,
+        slots: slots_out,
         event_log,
     }
 }
@@ -1411,6 +1647,74 @@ mod tests {
         let r = simulate(&spec);
         assert_eq!(r.served, 400);
         assert!(r.stolen > 0, "slammed shards must donate work");
+    }
+
+    /// Per-board frag levels parsed from `migrate board=G … frag=F`
+    /// event-log lines, in log order.
+    fn frag_trail(log: &[String]) -> HashMap<String, Vec<u64>> {
+        let mut trail: HashMap<String, Vec<u64>> = HashMap::new();
+        for line in log {
+            let Some(rest) = line.split(" migrate board=").nth(1) else {
+                continue;
+            };
+            let board = rest.split_whitespace().next().unwrap().to_string();
+            let frag = rest
+                .split("frag=")
+                .nth(1)
+                .expect("migrate line carries frag")
+                .trim()
+                .parse::<u64>()
+                .expect("frag level is numeric");
+            trail.entry(board).or_default().push(frag);
+        }
+        trail
+    }
+
+    #[test]
+    fn defrag_compacts_every_board_and_still_serves_everything() {
+        let mut spec = small_spec();
+        spec.defrag = true;
+        spec.fault_rate = 0.1;
+        spec.log_events = true;
+        let r = simulate(&spec);
+        assert_eq!(r.served, 400, "migration never costs a request");
+        assert!(r.frag_initial > 0, "scattered layout starts fragmented");
+        assert_eq!(r.frag_final, 0, "idle windows fully compact the fleet");
+        assert!(r.migrations > 0 && r.migrations <= r.frag_initial);
+        // Every applied move strictly decreases its board's frag level,
+        // straight down to zero.
+        let trail = frag_trail(&r.event_log);
+        assert_eq!(trail.len(), spec.boards, "every board compacted");
+        for (board, frags) in trail {
+            for w in frags.windows(2) {
+                assert!(w[1] < w[0], "board {board} frag went {w:?}");
+            }
+            assert_eq!(*frags.last().unwrap(), 0, "board {board} not compact");
+        }
+    }
+
+    #[test]
+    fn defrag_off_means_no_migration_traffic() {
+        let r = simulate(&small_spec());
+        assert_eq!(r.migrations, 0);
+        assert_eq!(r.migration_retries, 0);
+        assert_eq!(r.frag_initial, 0);
+        assert_eq!(r.frag_final, 0);
+    }
+
+    #[test]
+    fn defrag_faults_retry_and_are_counted() {
+        let mut spec = small_spec();
+        spec.defrag = true;
+        spec.fault_rate = 0.4;
+        let r = simulate(&spec);
+        assert_eq!(r.served, 400);
+        assert_eq!(r.frag_final, 0, "retries still converge at 40% faults");
+        assert!(r.migration_retries > 0, "40% faults must hit migrations");
+        assert_eq!(
+            r.snapshot.counter_total("fleet_migrations_total").unwrap(),
+            r.migrations
+        );
     }
 
     #[test]

@@ -373,6 +373,9 @@ impl Fleet {
             shed_watermark: usize::MAX,
             coalesce: true,
             log_events: false,
+            // The real backend reconfigures fixed floorplan regions; it
+            // has no relocation path, so the defragmenter stays off.
+            defrag: None,
         };
         let boards = std::mem::take(&mut inner.boards);
         let resident = std::mem::take(&mut inner.resident);

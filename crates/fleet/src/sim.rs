@@ -21,8 +21,8 @@
 use crate::clock::Vt;
 use crate::metrics::FleetMetrics;
 use crate::sched::{
-    self, Backend, DownloadResult, DownloadStatus, Flavor, Outcome, Resident, Resolved,
-    SchedConfig, ServeMode, SimRequest,
+    self, Backend, DefragConfig, DownloadResult, DownloadStatus, Flavor, Outcome, Resident,
+    Resolved, SchedConfig, ServeMode, SimRequest,
 };
 use crate::trace::TraceSpec;
 use rand::rngs::StdRng;
@@ -72,6 +72,17 @@ pub struct FleetSimSpec {
     pub coalesce: bool,
     /// Record the per-event log (golden fixtures; heavy at scale).
     pub log_events: bool,
+    /// Enable the online defragmenter: every board starts with a
+    /// deliberately scattered slot layout (region `i` parked at slot
+    /// `2i + 1`, a hole under every region) and compacts it during idle
+    /// windows via modelled relocation downloads.
+    pub defrag: bool,
+    /// Column slots per board (0 or anything below `2 * regions` widens
+    /// to `2 * regions`, the scattered layout's footprint).
+    pub slots: usize,
+    /// Idle dwell before a fragmented board migrates, virtual ns
+    /// (0 = 50 µs).
+    pub defrag_idle_ns: u64,
     /// Master seed: trace, artifact sizes and fault fates all derive
     /// from it.
     pub seed: u64,
@@ -98,6 +109,9 @@ impl Default for FleetSimSpec {
             shed_watermark: usize::MAX,
             coalesce: true,
             log_events: false,
+            defrag: false,
+            slots: 0,
+            defrag_idle_ns: 0,
             seed: 0xF1EE7,
         }
     }
@@ -245,6 +259,26 @@ impl Backend for ModelBackend {
     fn finish(&self, _board: &mut ModelBoard, _region: u32, _payload: u32) -> Vec<(String, bool)> {
         Vec::new()
     }
+
+    fn migrate(
+        &self,
+        board: &mut ModelBoard,
+        global: u32,
+        region: u32,
+        resident: Resident,
+    ) -> Option<DownloadResult> {
+        // Relocating a region's content is priced as a wholesale
+        // download at the new origin plus the usual verification
+        // readback, drawing fault fates from the same per-board
+        // injector as request downloads. Base/unknown content is priced
+        // at the region's variant-0 footprint.
+        let variant = match resident {
+            Resident::Variant(v) => v,
+            Resident::Base | Resident::Unknown => 0,
+        };
+        let res = self.sizes[&(region, variant)];
+        Some(self.download(board, global, &(), Flavor::Wholesale, &res))
+    }
 }
 
 /// Everything a simulation run reports.
@@ -276,6 +310,14 @@ pub struct SimReport {
     pub verify_failures: u64,
     /// Requests migrated between shards at rebalance barriers.
     pub stolen: u64,
+    /// Slot migrations the defragmenter completed.
+    pub migrations: u64,
+    /// Migration attempts that faulted and were retried or abandoned.
+    pub migration_retries: u64,
+    /// Summed per-board slot fragmentation before the run.
+    pub frag_initial: u64,
+    /// Summed per-board slot fragmentation after the run.
+    pub frag_final: u64,
     /// Virtual completion instant of the whole trace.
     pub completed: Vt,
     /// Largest per-board simulated port busy time, nanoseconds.
@@ -317,6 +359,21 @@ impl FleetSimSpec {
             shed_watermark: self.shed_watermark,
             coalesce: self.coalesce,
             log_events: self.log_events,
+            defrag: self.defrag.then(|| {
+                let slots = self.slots.max(2 * self.regions as usize);
+                DefragConfig {
+                    slots,
+                    // Region i at slot 2i+1: a hole below every region,
+                    // maximal fragmentation for the footprint.
+                    layout: (0..self.regions as usize).map(|r| 2 * r + 1).collect(),
+                    idle: Duration::from_nanos(if self.defrag_idle_ns == 0 {
+                        50_000
+                    } else {
+                        self.defrag_idle_ns
+                    }),
+                    max_attempts: self.max_attempts,
+                }
+            }),
         }
     }
 
@@ -386,6 +443,10 @@ pub fn simulate_trace(spec: &FleetSimSpec, trace: Vec<SimRequest>) -> SimReport 
         retries: metrics.retries.get(),
         verify_failures: metrics.verify_failures.get(),
         stolen: out.stolen,
+        migrations: out.migrations,
+        migration_retries: out.migration_retries,
+        frag_initial: out.frag_initial,
+        frag_final: out.frag_final,
         completed: out.completed,
         makespan_ns: out.busy_ns.iter().copied().max().unwrap_or(0),
         p50: quantiles[0],

@@ -30,6 +30,11 @@ pub struct PartialKey {
     pub region: usize,
     /// Variant index within the region's catalogue.
     pub variant: usize,
+    /// Column origin (slot index) the partial is stitched for; `0` is
+    /// the region's floorplanned home. A partial generated for one
+    /// origin is byte-wrong at every other, so the origin is part of
+    /// the entry's identity.
+    pub origin: usize,
     /// Base-design epoch the entry was generated against.
     pub epoch: u64,
 }
@@ -88,6 +93,17 @@ impl PartialStore {
             .expect("store lock")
             .retain(|k, _| k.epoch >= new);
         new
+    }
+
+    /// Drop every entry for `region` — all variants, origins and
+    /// epochs. Called when the defragmenter changes the region's slot
+    /// assignment: a partial stitched for the old origin must never be
+    /// served again. Returns the number of entries purged.
+    pub fn purge_region(&self, region: usize) -> usize {
+        let mut map = self.map.lock().expect("store lock");
+        let before = map.len();
+        map.retain(|k, _| k.region != region);
+        before - map.len()
     }
 
     /// Number of resident entries (any epoch, generated or in flight).
@@ -149,6 +165,7 @@ mod tests {
             device: Device::XCV50,
             region,
             variant: 0,
+            origin: 0,
             epoch,
         }
     }
@@ -203,6 +220,33 @@ mod tests {
         // The same (region, variant) under the new epoch is a fresh miss.
         let (_, hit) = store.get_or_generate(key(0, 1), || Ok(dummy(key(0, 1))));
         assert!(!hit);
+    }
+
+    #[test]
+    fn migration_purges_stale_origin_partials() {
+        let store = PartialStore::new();
+        let at = |origin: usize| PartialKey {
+            origin,
+            ..key(0, 0)
+        };
+        // Region 0 was served at origin 3 before the defragmenter moved
+        // it; region 1 is a bystander that must survive the purge.
+        store.get_or_generate(at(3), || Ok(dummy(at(3)))).0.unwrap();
+        store
+            .get_or_generate(key(1, 0), || Ok(dummy(key(1, 0))))
+            .0
+            .unwrap();
+        assert_eq!(store.purge_region(0), 1, "only region-0 entries go");
+        assert_eq!(store.len(), 1);
+        // After the move to origin 1 every origin is a fresh miss: the
+        // stale origin-3 partial can never be served again.
+        let (_, hit) = store.get_or_generate(at(1), || Ok(dummy(at(1))));
+        assert!(!hit, "new origin regenerates");
+        let (_, hit) = store.get_or_generate(at(3), || Ok(dummy(at(3))));
+        assert!(
+            !hit,
+            "stale-origin partial must not be served post-migration"
+        );
     }
 
     #[test]

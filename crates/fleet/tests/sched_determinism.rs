@@ -75,6 +75,37 @@ fn identical_results_at_1_2_and_8_workers() {
     }
 }
 
+/// The defragmenter's migrations are ordinary scheduler events, so the
+/// determinism guarantee extends to them unchanged: identical event
+/// logs (migration lines included), outcomes, final fragmentation and
+/// metric snapshots at 1, 2 and 8 workers.
+#[test]
+fn defrag_runs_are_identical_across_worker_counts() {
+    let defrag_spec = |workers| FleetSimSpec {
+        defrag: true,
+        workers,
+        ..spec()
+    };
+    let base = simulate(&defrag_spec(1));
+    assert!(base.migrations > 0, "fragmented layout must migrate");
+    assert!(base.frag_initial > 0);
+    assert_eq!(base.frag_final, 0, "idle windows fully compact the fleet");
+    assert_eq!(base.served, 3_000, "defrag never costs a request");
+    for workers in [2, 8] {
+        let other = simulate(&defrag_spec(workers));
+        assert_eq!(
+            base.event_log, other.event_log,
+            "defrag event log diverged at {workers} workers"
+        );
+        assert_eq!(base.outcomes, other.outcomes);
+        assert_eq!(base.snapshot, other.snapshot);
+        assert_eq!(
+            (base.migrations, base.migration_retries, base.frag_final),
+            (other.migrations, other.migration_retries, other.frag_final),
+        );
+    }
+}
+
 #[test]
 fn repeated_runs_are_byte_identical() {
     let a = run_with_workers(0); // 0 = all available cores

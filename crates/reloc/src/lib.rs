@@ -1,0 +1,218 @@
+//! # reloc — partial-bitstream relocation and slot management
+//!
+//! JPG's partials are pinned to the column origin they were generated
+//! at: every `FAR` seek in the stream names an absolute configuration
+//! column. This crate un-pins them, in two layers:
+//!
+//! * [`engine`] — the **relocation engine**. Given a partial bitstream
+//!   and a column delta, it parses the stream back into its `FDRI` runs
+//!   ([`parse`]), maps every frame through the device geometry to its
+//!   target column (validating resource compatibility: column kinds,
+//!   frame counts, device bounds), re-coalesces the moved frames into
+//!   maximal runs in *target* address order, and re-emits the stream
+//!   with per-run CRC16 contributions spliced through the GF(2) matrix
+//!   machinery ([`bitstream::crc::Crc16::combine`]). The output is
+//!   **byte-identical** to a partial freshly generated at the target
+//!   origin — the conformance suite pins this across devices.
+//! * [`slots`] — the **slot allocator** behind the fleet's online
+//!   defragmenter: per-board slot occupancy, a fragmentation measure
+//!   (free holes below the high-water slot), and a compaction policy
+//!   whose every move *strictly* decreases fragmentation, so background
+//!   migration terminates at a fully compacted board.
+//!
+//! Every rejection is a typed [`RelocError`]; incompatible targets never
+//! produce a stream.
+
+pub mod engine;
+pub mod parse;
+pub mod slots;
+
+pub use engine::{map_frame, relocate, RelocSpec};
+pub use parse::{parse_partial, ParsedPartial, ParsedRun};
+pub use slots::{SlotMap, SlotMove};
+
+use bitstream::packet::PacketError;
+use std::fmt;
+use virtex::{BlockType, ColumnKind};
+
+/// Typed relocation failure: either the input stream is not a
+/// well-formed JPG partial, or the requested move is not
+/// resource-compatible with the device geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelocError {
+    /// Stream ended mid-structure (word offset of the missing word).
+    Truncated {
+        /// Word offset at which more input was required.
+        at: usize,
+    },
+    /// Stream does not open with the dummy + sync preamble.
+    BadPreamble,
+    /// A header word did not decode as a packet.
+    BadPacket {
+        /// Word offset of the bad header.
+        at: usize,
+        /// Decoder error.
+        err: PacketError,
+    },
+    /// A well-formed packet appeared where the partial shape demands
+    /// something else.
+    Unexpected {
+        /// Word offset of the offending packet header.
+        at: usize,
+        /// What the parser was expecting there.
+        expected: &'static str,
+    },
+    /// The stream's `IDCODE` write names a different device.
+    IdcodeMismatch {
+        /// The target device's IDCODE.
+        expected: u32,
+        /// The IDCODE found in the stream.
+        found: u32,
+    },
+    /// The stream's `FLR` write disagrees with the device frame length.
+    FlrMismatch {
+        /// Frame length (words) of the target device.
+        expected: usize,
+        /// Frame length found in the stream.
+        found: usize,
+    },
+    /// A `FAR` word did not decode to a frame of this device.
+    BadFar {
+        /// Word offset of the FAR payload word.
+        at: usize,
+        /// The raw FAR word.
+        far: u32,
+    },
+    /// An `FDRI` payload is not a whole number of frames, or lacks the
+    /// pipeline pad frame.
+    BadPayload {
+        /// Word offset of the payload.
+        at: usize,
+        /// Payload length in words.
+        words: usize,
+    },
+    /// The trailing pipeline pad frame of a run is not zeroed.
+    BadPad {
+        /// Linear index of the run's first frame.
+        run_start: usize,
+    },
+    /// A run's frames walk past the end of the device.
+    RunOverrun {
+        /// First linear frame index past the device.
+        frame: usize,
+    },
+    /// The stream's `CRC` check word does not match its own contents.
+    CrcMismatch {
+        /// CRC recomputed from the stream contents.
+        expected: u16,
+        /// CRC word found in the stream.
+        found: u16,
+    },
+    /// The partial touches a column that cannot move (clock or IOB) and
+    /// the requested delta is nonzero.
+    FixedColumn {
+        /// Block type of the immovable column.
+        block: BlockType,
+        /// Major address of the immovable column.
+        major: u8,
+    },
+    /// The delta pushes a column outside the device.
+    OutOfDevice {
+        /// Block type being relocated.
+        block: BlockType,
+        /// The out-of-range target column (CLB array column for CLB
+        /// space, major address for BRAM space).
+        col: i64,
+    },
+    /// Source and target columns configure different resource kinds.
+    KindMismatch {
+        /// Source column kind.
+        from: ColumnKind,
+        /// Target column kind.
+        to: ColumnKind,
+    },
+    /// Source and target columns have different frame counts.
+    FrameCountMismatch {
+        /// Source column frame count.
+        from: usize,
+        /// Target column frame count.
+        to: usize,
+    },
+    /// Two source frames map to the same target frame.
+    TargetOverlap {
+        /// The doubly-written target frame (linear index).
+        frame: usize,
+    },
+}
+
+impl fmt::Display for RelocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelocError::Truncated { at } => write!(f, "stream truncated at word {at}"),
+            RelocError::BadPreamble => write!(f, "missing dummy+sync preamble"),
+            RelocError::BadPacket { at, err } => write!(f, "bad packet at word {at}: {err}"),
+            RelocError::Unexpected { at, expected } => {
+                write!(f, "unexpected packet at word {at}: expected {expected}")
+            }
+            RelocError::IdcodeMismatch { expected, found } => {
+                write!(
+                    f,
+                    "IDCODE {found:#010x} does not match device ({expected:#010x})"
+                )
+            }
+            RelocError::FlrMismatch { expected, found } => {
+                write!(
+                    f,
+                    "FLR {found} does not match device frame length {expected}"
+                )
+            }
+            RelocError::BadFar { at, far } => {
+                write!(
+                    f,
+                    "FAR word {far:#010x} at word {at} is not a frame of this device"
+                )
+            }
+            RelocError::BadPayload { at, words } => {
+                write!(
+                    f,
+                    "FDRI payload of {words} words at word {at} is not whole frames + pad"
+                )
+            }
+            RelocError::BadPad { run_start } => {
+                write!(
+                    f,
+                    "run at frame {run_start} has a non-zero pipeline pad frame"
+                )
+            }
+            RelocError::RunOverrun { frame } => {
+                write!(f, "run walks past the device at frame {frame}")
+            }
+            RelocError::CrcMismatch { expected, found } => {
+                write!(
+                    f,
+                    "stream CRC {found:#06x} does not match contents ({expected:#06x})"
+                )
+            }
+            RelocError::FixedColumn { block, major } => {
+                write!(
+                    f,
+                    "column {block:?}/maj{major} is fixed and cannot relocate"
+                )
+            }
+            RelocError::OutOfDevice { block, col } => {
+                write!(f, "target {block:?} column {col} is outside the device")
+            }
+            RelocError::KindMismatch { from, to } => {
+                write!(f, "column kind {from:?} cannot relocate onto {to:?}")
+            }
+            RelocError::FrameCountMismatch { from, to } => {
+                write!(f, "frame count {from} does not match target column's {to}")
+            }
+            RelocError::TargetOverlap { frame } => {
+                write!(f, "two source frames map onto target frame {frame}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelocError {}

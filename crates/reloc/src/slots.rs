@@ -1,0 +1,213 @@
+//! Per-board slot allocation and the compaction policy behind the
+//! fleet's online defragmenter.
+//!
+//! A board's reconfigurable area is modelled as a row of equal-width
+//! column *slots*; each resident region occupies exactly one slot, and
+//! a region's slot index is its **column origin** (the relocation
+//! delta between two slots is their index difference times the slot
+//! width). Requests are served from whatever slot a region currently
+//! sits in; what degrades over time is the *shape* of the free space:
+//! holes open up below the high-water slot and the largest contiguous
+//! free span shrinks.
+//!
+//! [`SlotMap::fragmentation`] counts exactly those holes — free slots
+//! below the highest occupied one. The compaction move
+//! ([`SlotMap::plan_move`]) takes the region in the **highest** occupied
+//! slot and drops it into the **lowest** free hole. Because the hole is
+//! strictly below the vacated slot, the occupied high-water mark
+//! strictly falls while the occupied count is conserved, so every
+//! applied move strictly decreases fragmentation and the policy
+//! terminates at zero (a fully compacted prefix) — the property the
+//! defragmenter's gauge assertions pin.
+
+use std::fmt;
+
+/// One planned migration: move `region` from slot `from` to slot `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotMove {
+    /// The resident region to move.
+    pub region: u32,
+    /// Its current slot.
+    pub from: usize,
+    /// The target slot (always a lower index).
+    pub to: usize,
+}
+
+impl fmt::Display for SlotMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}:{}→{}", self.region, self.from, self.to)
+    }
+}
+
+/// Slot occupancy of one board: `slots[i]` is the region resident in
+/// slot `i`, if any. A region occupies at most one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotMap {
+    slots: Vec<Option<u32>>,
+}
+
+impl SlotMap {
+    /// An empty board with `n` slots.
+    pub fn new(n: usize) -> SlotMap {
+        SlotMap {
+            slots: vec![None; n],
+        }
+    }
+
+    /// A board with a given layout. Panics if a region appears twice.
+    pub fn with_layout(slots: Vec<Option<u32>>) -> SlotMap {
+        let m = SlotMap { slots };
+        m.check();
+        m
+    }
+
+    fn check(&self) {
+        let mut seen: Vec<u32> = self.slots.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let n = seen.len();
+        seen.dedup();
+        assert_eq!(seen.len(), n, "region resident in two slots");
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no region is resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// The region in slot `i`.
+    pub fn occupant(&self, i: usize) -> Option<u32> {
+        self.slots.get(i).copied().flatten()
+    }
+
+    /// The slot `region` currently occupies.
+    pub fn slot_of(&self, region: u32) -> Option<usize> {
+        self.slots.iter().position(|&s| s == Some(region))
+    }
+
+    /// Place `region` into `slot` (first residency or explicit layout
+    /// change). Panics if the slot is taken by another region.
+    pub fn place(&mut self, region: u32, slot: usize) {
+        if let Some(old) = self.slot_of(region) {
+            self.slots[old] = None;
+        }
+        assert!(
+            self.slots[slot].is_none(),
+            "slot {slot} already holds region {:?}",
+            self.slots[slot]
+        );
+        self.slots[slot] = Some(region);
+    }
+
+    /// Free holes below the high-water slot: `(highest occupied + 1) -
+    /// occupied count`, zero when empty or perfectly packed.
+    pub fn fragmentation(&self) -> u32 {
+        let occupied = self.slots.iter().flatten().count();
+        match self.slots.iter().rposition(|s| s.is_some()) {
+            Some(hi) => (hi + 1 - occupied) as u32,
+            None => 0,
+        }
+    }
+
+    /// The next compaction move: the region in the highest occupied
+    /// slot drops to the lowest free hole below it. `None` when already
+    /// compact.
+    pub fn plan_move(&self) -> Option<SlotMove> {
+        let hi = self.slots.iter().rposition(|s| s.is_some())?;
+        let to = self.slots[..hi].iter().position(|s| s.is_none())?;
+        Some(SlotMove {
+            region: self.slots[hi].expect("rposition found an occupant"),
+            from: hi,
+            to,
+        })
+    }
+
+    /// Apply a planned move. Panics if the map changed since planning
+    /// (the defragmenter re-plans after every completed migration).
+    pub fn apply(&mut self, mv: SlotMove) {
+        assert_eq!(self.slots[mv.from], Some(mv.region), "stale move");
+        assert!(self.slots[mv.to].is_none(), "stale move target");
+        self.slots[mv.from] = None;
+        self.slots[mv.to] = Some(mv.region);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(spec: &[i64]) -> SlotMap {
+        SlotMap::with_layout(
+            spec.iter()
+                .map(|&r| if r < 0 { None } else { Some(r as u32) })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fragmentation_counts_holes_below_high_water() {
+        assert_eq!(SlotMap::new(8).fragmentation(), 0);
+        assert_eq!(layout(&[0, 1, 2, -1, -1]).fragmentation(), 0);
+        assert_eq!(layout(&[-1, 0, -1, 1, -1]).fragmentation(), 2);
+        assert_eq!(layout(&[-1, -1, -1, 7]).fragmentation(), 3);
+    }
+
+    #[test]
+    fn every_move_strictly_decreases_fragmentation_to_zero() {
+        let mut m = layout(&[-1, 5, -1, -1, 3, -1, 9, -1]);
+        let mut frag = m.fragmentation();
+        assert!(frag > 0);
+        let mut moves = 0;
+        while let Some(mv) = m.plan_move() {
+            assert!(mv.to < mv.from);
+            m.apply(mv);
+            let next = m.fragmentation();
+            assert!(next < frag, "move {mv} did not decrease fragmentation");
+            frag = next;
+            moves += 1;
+            assert!(moves <= 8, "compaction did not terminate");
+        }
+        assert_eq!(frag, 0);
+        // Occupants preserved, packed into a prefix: 9 fell from slot 6
+        // into hole 0, then 3 fell from slot 4 into hole 2.
+        assert_eq!(m.occupant(0), Some(9));
+        assert_eq!(m.occupant(1), Some(5));
+        assert_eq!(m.occupant(2), Some(3));
+        assert!((3..8).all(|i| m.occupant(i).is_none()));
+    }
+
+    #[test]
+    fn place_moves_and_guards_occupancy() {
+        let mut m = SlotMap::new(4);
+        m.place(7, 3);
+        assert_eq!(m.slot_of(7), Some(3));
+        m.place(7, 1); // re-place vacates the old slot
+        assert_eq!(m.slot_of(7), Some(1));
+        assert_eq!(m.occupant(3), None);
+        assert_eq!(m.fragmentation(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn place_rejects_taken_slot() {
+        let mut m = SlotMap::new(2);
+        m.place(0, 1);
+        m.place(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two slots")]
+    fn layout_rejects_duplicate_region() {
+        let _ = layout(&[3, -1, 3]);
+    }
+
+    #[test]
+    fn plan_is_none_when_compact() {
+        assert!(SlotMap::new(3).plan_move().is_none());
+        assert!(layout(&[1, 2, -1]).plan_move().is_none());
+    }
+}

@@ -1,0 +1,246 @@
+//! FAR major-address arithmetic at column seams — the math the
+//! relocation engine leans on. Exercised at both device extremes
+//! (XCV50, XCV1000): the clock↔CLB↔IOB seams of the CLB block, the
+//! right/left side seam of the BRAM blocks, and the block-type seams in
+//! linear frame-index space. Any off-by-one here relocates a partial
+//! into a neighbouring column silently, so every edge is pinned.
+
+use virtex::{BlockType, ColumnKind, ConfigGeometry, Device, FrameAddress};
+
+const EXTREMES: [Device; 2] = [Device::XCV50, Device::XCV1000];
+
+#[test]
+fn clb_major_col_bijection_covers_the_whole_array() {
+    for device in EXTREMES {
+        let g = device.config_geometry();
+        let cols = device.geometry().clb_cols;
+        // Every CLB array column has exactly one major, and the map
+        // round-trips both ways.
+        let mut seen = vec![false; cols];
+        for major in 0..=u8::MAX {
+            if let Some(c) = g.clb_col_for_major(major) {
+                assert!(!seen[c], "{device:?}: column {c} claimed twice");
+                seen[c] = true;
+                assert_eq!(g.major_for_clb_col(c), Some(major), "{device:?}");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "{device:?}: unmapped CLB column");
+        // CLB majors are exactly 1..=clb_cols: major 0 is the clock
+        // column, majors clb_cols+1/+2 are the IOB columns.
+        assert_eq!(g.clb_col_for_major(0), None, "{device:?}: clock");
+        assert!(g.clb_col_for_major(cols as u8).is_some(), "{device:?}");
+        assert_eq!(
+            g.clb_col_for_major(cols as u8 + 1),
+            None,
+            "{device:?}: right IOB"
+        );
+        assert_eq!(
+            g.clb_col_for_major(cols as u8 + 2),
+            None,
+            "{device:?}: left IOB"
+        );
+        assert_eq!(
+            g.clb_col_for_major(cols as u8 + 3),
+            None,
+            "{device:?}: past IOB"
+        );
+        // The alternation lands the array edges on the two highest CLB
+        // majors: rightmost column on clb_cols-1, leftmost on clb_cols.
+        assert_eq!(
+            g.major_for_clb_col(cols - 1),
+            Some(cols as u8 - 1),
+            "{device:?}"
+        );
+        assert_eq!(g.major_for_clb_col(0), Some(cols as u8), "{device:?}");
+        // Center seam: major 1 is the first column right of center.
+        assert_eq!(g.clb_col_for_major(1), Some(cols / 2), "{device:?}");
+        assert_eq!(g.clb_col_for_major(2), Some(cols / 2 - 1), "{device:?}");
+        // Out-of-array queries refuse instead of wrapping.
+        assert_eq!(g.major_for_clb_col(cols), None, "{device:?}");
+    }
+}
+
+#[test]
+fn linear_frame_space_is_contiguous_across_every_column_seam() {
+    for device in EXTREMES {
+        let g = device.config_geometry();
+        let mut cols: Vec<_> = g.columns().collect();
+        cols.sort_by_key(|c| c.first_frame_index());
+        assert_eq!(cols[0].first_frame_index(), 0, "{device:?}");
+        for w in cols.windows(2) {
+            assert_eq!(
+                w[0].first_frame_index() + w[0].frame_count(),
+                w[1].first_frame_index(),
+                "{device:?}: gap or overlap between {:?}/maj{} and {:?}/maj{}",
+                w[0].block,
+                w[0].major,
+                w[1].block,
+                w[1].major,
+            );
+        }
+        let last = cols.last().unwrap();
+        assert_eq!(
+            last.first_frame_index() + last.frame_count(),
+            g.total_frames(),
+            "{device:?}"
+        );
+    }
+}
+
+#[test]
+fn block_type_seams_sit_where_the_far_ordering_says() {
+    for device in EXTREMES {
+        let g = device.config_geometry();
+        // All Clb-space frames precede all BRAM-interconnect frames,
+        // which precede all BRAM-content frames.
+        let max_of = |b: BlockType| {
+            g.columns()
+                .filter(|c| c.block == b)
+                .map(|c| c.first_frame_index() + c.frame_count())
+                .max()
+                .unwrap()
+        };
+        let min_of = |b: BlockType| {
+            g.columns()
+                .filter(|c| c.block == b)
+                .map(|c| c.first_frame_index())
+                .min()
+                .unwrap()
+        };
+        let clb_end = max_of(BlockType::Clb);
+        let bi_start = min_of(BlockType::BramInterconnect);
+        let bi_end = max_of(BlockType::BramInterconnect);
+        let bc_start = min_of(BlockType::BramContent);
+        assert_eq!(clb_end, bi_start, "{device:?}: Clb→BramInterconnect seam");
+        assert_eq!(bi_end, bc_start, "{device:?}: interconnect→content seam");
+
+        // Crossing a block seam by one frame changes the block type and
+        // resets the minor to zero.
+        let before = g.frame_address(bi_start - 1).unwrap();
+        let after = g.frame_address(bi_start).unwrap();
+        assert_eq!(before.block, BlockType::Clb, "{device:?}");
+        assert_eq!(after.block, BlockType::BramInterconnect, "{device:?}");
+        assert_eq!(after.minor, 0, "{device:?}");
+    }
+}
+
+#[test]
+fn far_round_trips_at_every_column_edge() {
+    for device in EXTREMES {
+        let g = device.config_geometry();
+        for col in g.columns() {
+            for minor in [0, col.frame_count() - 1] {
+                let far = FrameAddress::new(col.block, col.major, minor as u8);
+                let idx = g.frame_index(far).unwrap_or_else(|| {
+                    panic!(
+                        "{device:?}: no index for {:?}/maj{}/min{minor}",
+                        col.block, col.major
+                    )
+                });
+                assert_eq!(g.frame_address(idx), Some(far), "{device:?}");
+                // FAR word encoding round-trips too.
+                assert_eq!(
+                    FrameAddress::from_word(far.to_word()),
+                    Some(far),
+                    "{device:?}"
+                );
+            }
+            // One past the last minor refuses instead of spilling into
+            // the next column's frame 0.
+            let past = FrameAddress::new(col.block, col.major, col.frame_count() as u8);
+            assert_eq!(g.frame_index(past), None, "{device:?}: minor overrun");
+        }
+    }
+}
+
+#[test]
+fn bram_sides_and_majors_are_pinned() {
+    for device in EXTREMES {
+        let g = device.config_geometry();
+        for block in [BlockType::BramInterconnect, BlockType::BramContent] {
+            let right = g.column(block, 0).unwrap();
+            let left = g.column(block, 1).unwrap();
+            match (right.kind, left.kind) {
+                (ColumnKind::BramInterconnect(r), ColumnKind::BramInterconnect(l))
+                | (ColumnKind::BramContent(r), ColumnKind::BramContent(l)) => {
+                    assert_eq!(r, virtex::config::Side::Right, "{device:?}");
+                    assert_eq!(l, virtex::config::Side::Left, "{device:?}");
+                }
+                other => panic!("{device:?}: unexpected kinds {other:?}"),
+            }
+            assert_eq!(right.frame_count(), left.frame_count(), "{device:?}");
+            assert!(
+                g.column(block, 2).is_none(),
+                "{device:?}: phantom BRAM major"
+            );
+        }
+        // Frame counts per XAPP151: 27 interconnect, 64 content.
+        assert_eq!(
+            g.column(BlockType::BramInterconnect, 0)
+                .unwrap()
+                .frame_count(),
+            27
+        );
+        assert_eq!(
+            g.column(BlockType::BramContent, 0).unwrap().frame_count(),
+            64
+        );
+    }
+}
+
+#[test]
+fn iob_and_clock_frame_counts_are_pinned_at_extremes() {
+    for device in EXTREMES {
+        let g = device.config_geometry();
+        let cols = device.geometry().clb_cols as u8;
+        assert_eq!(
+            g.column(BlockType::Clb, 0).unwrap().frame_count(),
+            8,
+            "{device:?} clock"
+        );
+        for (major, side) in [
+            (cols + 1, virtex::config::Side::Right),
+            (cols + 2, virtex::config::Side::Left),
+        ] {
+            let c = g.column(BlockType::Clb, major).unwrap();
+            assert_eq!(c.kind, ColumnKind::Iob(side), "{device:?}");
+            assert_eq!(c.frame_count(), 54, "{device:?} IOB");
+        }
+        for major in 1..=cols {
+            assert_eq!(
+                g.column(BlockType::Clb, major).unwrap().frame_count(),
+                48,
+                "{device:?} CLB"
+            );
+        }
+    }
+}
+
+/// The relocation invariant the seams feed: shifting a column by one
+/// array position at the array edge either lands on a valid CLB major
+/// or refuses — it never lands on the clock or an IOB major.
+#[test]
+fn one_column_shifts_at_the_edges_stay_inside_the_clb_space() {
+    for device in EXTREMES {
+        let g: ConfigGeometry = device.config_geometry();
+        let cols = device.geometry().clb_cols;
+        for c in [0usize, 1, cols / 2 - 1, cols / 2, cols - 2, cols - 1] {
+            for delta in [-1i64, 1] {
+                let t = c as i64 + delta;
+                let mapped = (t >= 0).then(|| g.major_for_clb_col(t as usize)).flatten();
+                if (0..cols as i64).contains(&t) {
+                    let m = mapped.expect("in-array shift maps");
+                    assert!(
+                        g.clb_col_for_major(m) == Some(t as usize),
+                        "{device:?}: col {c}{delta:+} landed on major {m}"
+                    );
+                } else {
+                    assert!(
+                        mapped.is_none(),
+                        "{device:?}: col {c}{delta:+} escaped the array"
+                    );
+                }
+            }
+        }
+    }
+}
