@@ -8,9 +8,13 @@
 //! jpg-cli report [--workload fig4|smoke] [--format table|json|prometheus|jsonl]
 //!         [--repeat N] [--check-schema]
 //! jpg-cli relocate --in <partial.bit> --out <moved.bit> --delta N [--bram-delta N]
+//! jpg-cli compress --in <partial.bit> --out <partial.jwc> [--base <base.bit>]
+//! jpg-cli decompress --in <partial.jwc> --out <partial.bit> [--base <base.bit>]
+//!         [--design NAME]
 //! jpg-cli fleet-sim [--boards N] [--requests N] [--shards N] [--workers N]
 //!         [--seed S] [--zipf S] [--fault-rate F] [--mode partial|full]
-//!         [--regions N] [--variants N] [--queue-cap N] [--shed-watermark N]
+//!         [--wire plain|compressed] [--regions N] [--variants N]
+//!         [--queue-cap N] [--shed-watermark N]
 //!         [--defrag] [--slots N] [--defrag-idle-ns N]
 //!         [--format table|json] [--log-events]
 //! ```
@@ -27,6 +31,8 @@ fn main() -> ExitCode {
         Some("partial") => partial(&args[1..]),
         Some("report") => report(&args[1..]),
         Some("relocate") => relocate_cmd(&args[1..]),
+        Some("compress") => compress_cmd(&args[1..]),
+        Some("decompress") => decompress_cmd(&args[1..]),
         Some("fleet-sim") => fleet_sim(&args[1..]),
         _ => {
             eprintln!(
@@ -35,9 +41,13 @@ fn main() -> ExitCode {
                  [--merge <updated.bit>] [--floorplan]\n  jpg-cli report \
                  [--workload fig4|smoke] [--format table|json|prometheus|jsonl] \
                  [--repeat N] [--check-schema]\n  jpg-cli relocate --in <partial.bit> \
-                 --out <moved.bit> --delta N [--bram-delta N]\n  jpg-cli fleet-sim \
+                 --out <moved.bit> --delta N [--bram-delta N]\n  jpg-cli compress \
+                 --in <partial.bit> --out <partial.jwc> [--base <base.bit>]\n  \
+                 jpg-cli decompress --in <partial.jwc> --out <partial.bit> \
+                 [--base <base.bit>] [--design NAME]\n  jpg-cli fleet-sim \
                  [--boards N] [--requests N] [--shards N] [--workers N] [--seed S] \
-                 [--zipf S] [--fault-rate F] [--mode partial|full] [--regions N] \
+                 [--zipf S] [--fault-rate F] [--mode partial|full] \
+                 [--wire plain|compressed] [--regions N] \
                  [--variants N] [--queue-cap N] [--shed-watermark N] \
                  [--defrag] [--slots N] [--defrag-idle-ns N] \
                  [--format table|json] [--log-events]"
@@ -81,6 +91,11 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            // `--flag=value` and `--flag value` are both accepted.
+            if let Some((name, value)) = name.split_once('=') {
+                flags.insert(name.to_string(), value.to_string());
+                continue;
+            }
             match it.peek() {
                 Some(v) if !v.starts_with("--") => {
                     flags.insert(name.to_string(), it.next().unwrap().clone());
@@ -269,6 +284,127 @@ fn relocate_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+/// Load a complete bitstream into a device-side interpreter so its
+/// configuration memory can serve as the delta base for wire coding.
+fn load_base(path: &str) -> Result<bitstream::Interpreter, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let file = BitFile::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    if file.partial {
+        return Err(format!("{path}: --base must be a complete bitstream"));
+    }
+    let mut interp = bitstream::Interpreter::new(file.device);
+    interp
+        .feed(&file.bitstream)
+        .map_err(|e| format!("{path}: {e}"))?;
+    Ok(interp)
+}
+
+/// Pack a partial bitstream into a `JWC1` wire container: frame-delta
+/// against `--base` when given (valid only for incremental partials
+/// applied over base-resident regions), RLE, and entropy coding, with
+/// per-section checksums.
+fn compress_cmd(args: &[String]) -> ExitCode {
+    let (flags, _) = parse_flags(args);
+    let need = |k: &str| -> Result<String, String> {
+        flags
+            .get(k)
+            .filter(|v| !v.is_empty())
+            .cloned()
+            .ok_or_else(|| format!("compress: missing --{k}"))
+    };
+    let run = || -> Result<(), String> {
+        let in_path = need("in")?;
+        let out_path = need("out")?;
+        let bytes = std::fs::read(&in_path).map_err(|e| format!("{in_path}: {e}"))?;
+        let file = BitFile::from_bytes(&bytes).map_err(|e| format!("{in_path}: {e}"))?;
+        let base = match flags.get("base").filter(|v| !v.is_empty()) {
+            Some(p) => {
+                let interp = load_base(p)?;
+                if interp.device() != file.device {
+                    return Err(format!(
+                        "compress: base is for {}, partial is for {}",
+                        interp.device(),
+                        file.device
+                    ));
+                }
+                Some(interp)
+            }
+            None => None,
+        };
+        let enc = wire::encode(
+            file.device,
+            &file.bitstream,
+            base.as_ref().map(|i| i.memory() as &dyn wire::FrameSource),
+        );
+        eprintln!(
+            "compress: {} on {}: {} -> {} bytes ({:.2}x) over {} sections",
+            file.design,
+            file.device,
+            enc.stats.decoded_bytes,
+            enc.stats.encoded_bytes,
+            enc.stats.ratio(),
+            enc.stats.sections,
+        );
+        std::fs::write(&out_path, &enc.bytes).map_err(|e| format!("{out_path}: {e}"))?;
+        eprintln!("wrote {out_path}");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+/// Unpack a `JWC1` wire container back to a plain partial `.bit` file.
+/// Containers with delta sections need the same `--base` they were
+/// encoded against.
+fn decompress_cmd(args: &[String]) -> ExitCode {
+    let (flags, _) = parse_flags(args);
+    let need = |k: &str| -> Result<String, String> {
+        flags
+            .get(k)
+            .filter(|v| !v.is_empty())
+            .cloned()
+            .ok_or_else(|| format!("decompress: missing --{k}"))
+    };
+    let run = || -> Result<(), String> {
+        let in_path = need("in")?;
+        let out_path = need("out")?;
+        let container = std::fs::read(&in_path).map_err(|e| format!("{in_path}: {e}"))?;
+        let base = match flags.get("base").filter(|v| !v.is_empty()) {
+            Some(p) => Some(load_base(p)?),
+            None => None,
+        };
+        let words = wire::decode_full(
+            &container,
+            base.as_ref().map(|i| i.memory() as &dyn wire::FrameSource),
+        )
+        .map_err(|e| format!("{in_path}: {e}"))?;
+        let dec = wire::StreamingDecoder::new(&container).map_err(|e| format!("{in_path}: {e}"))?;
+        let device = virtex::Device::from_idcode(dec.idcode())
+            .ok_or_else(|| format!("{in_path}: unknown idcode {:#010x}", dec.idcode()))?;
+        let design = flags
+            .get("design")
+            .filter(|v| !v.is_empty())
+            .cloned()
+            .unwrap_or_else(|| "decompressed".to_string());
+        let bs = bitstream::Bitstream::from_words(words);
+        eprintln!(
+            "decompress: {} bytes -> {} bytes for {device}",
+            container.len(),
+            bs.byte_len()
+        );
+        let out = BitFile::new(design, device, true, bs);
+        std::fs::write(&out_path, out.to_bytes()).map_err(|e| format!("{out_path}: {e}"))?;
+        eprintln!("wrote {out_path}");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
 /// Drive the event-driven fleet scheduler over a synthetic Zipf/bursty
 /// trace and report virtual-time latency quantiles plus throughput.
 fn fleet_sim(args: &[String]) -> ExitCode {
@@ -320,6 +456,11 @@ fn fleet_sim(args: &[String]) -> ExitCode {
             Some("full") | Some("fullswap") => spec.mode = fleet::ServeMode::FullSwap,
             Some(m) => return Err(format!("fleet-sim: unknown mode {m:?}")),
         }
+        match flags.get("wire").map(String::as_str) {
+            None | Some("") | Some("plain") => spec.wire = fleet::WireFormat::Plain,
+            Some("compressed") => spec.wire = fleet::WireFormat::Compressed,
+            Some(w) => return Err(format!("fleet-sim: unknown wire format {w:?}")),
+        }
         spec.log_events = flags.contains_key("log-events");
         spec.defrag = flags.contains_key("defrag");
         parse_usize("slots", &mut spec.slots)?;
@@ -363,13 +504,14 @@ fn fleet_sim(args: &[String]) -> ExitCode {
 fn render_fleet_table(spec: &fleet::FleetSimSpec, r: &fleet::SimReport) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "fleet-sim: {} boards / {} shards, {} requests, zipf {}, fault rate {}, {:?}\n",
+        "fleet-sim: {} boards / {} shards, {} requests, zipf {}, fault rate {}, {:?}, {:?} wire\n",
         spec.boards,
         spec.sched_config().shards,
         spec.requests,
         spec.zipf_s,
         spec.fault_rate,
         spec.mode,
+        spec.wire,
     ));
     s.push_str(&format!(
         "outcomes : {} served ({} resident-hit, {} coalesced), {} failed, {} rejected, {} shed\n",
@@ -405,7 +547,7 @@ fn render_fleet_json(spec: &fleet::FleetSimSpec, r: &fleet::SimReport) -> String
     format!(
         concat!(
             "{{\"boards\":{},\"shards\":{},\"workers\":{},\"requests\":{},",
-            "\"zipf_s\":{},\"fault_rate\":{},\"mode\":\"{}\",\"seed\":{},",
+            "\"zipf_s\":{},\"fault_rate\":{},\"mode\":\"{}\",\"wire\":\"{}\",\"seed\":{},",
             "\"served\":{},\"failed\":{},\"rejected\":{},\"shed\":{},",
             "\"resident_hits\":{},\"coalesced\":{},\"downloads\":{},",
             "\"download_bytes\":{},\"readback_bytes\":{},\"retries\":{},",
@@ -424,6 +566,10 @@ fn render_fleet_json(spec: &fleet::FleetSimSpec, r: &fleet::SimReport) -> String
         match spec.mode {
             fleet::ServeMode::Partial => "partial",
             fleet::ServeMode::FullSwap => "full",
+        },
+        match spec.wire {
+            fleet::WireFormat::Plain => "plain",
+            fleet::WireFormat::Compressed => "compressed",
         },
         spec.seed,
         r.served,

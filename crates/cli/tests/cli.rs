@@ -345,6 +345,218 @@ fn relocate_command_moves_a_partial_end_to_end() {
 }
 
 #[test]
+fn compress_round_trips_a_partial_through_the_wire_container() {
+    let dir = tmpdir("compress");
+    let base = build_base(
+        "wire_base",
+        Device::XCV50,
+        &[ModuleSpec {
+            prefix: "m/".into(),
+            netlist: gen::counter("up", 3),
+            region: Rect::new(0, 1, 15, 8),
+        }],
+        41,
+    )
+    .unwrap();
+    let variant = implement_variant(&base, "m/", &gen::gray_counter("gray", 3), 42).unwrap();
+    let base_path = dir.join("base.bit");
+    let xdl_path = dir.join("mod.xdl");
+    let ucf_path = dir.join("mod.ucf");
+    let partial_path = dir.join("partial.bit");
+    std::fs::write(&base_path, base.bitstream.to_bytes()).unwrap();
+    std::fs::write(&xdl_path, &variant.xdl).unwrap();
+    std::fs::write(&ucf_path, &variant.ucf).unwrap();
+    let out = Command::new(bin())
+        .args([
+            "partial",
+            "--base",
+            base_path.to_str().unwrap(),
+            "--xdl",
+            xdl_path.to_str().unwrap(),
+            "--ucf",
+            ucf_path.to_str().unwrap(),
+            "--out",
+            partial_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "partial failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Compress without a base, decompress, and demand byte identity.
+    let jwc_path = dir.join("partial.jwc");
+    let out = Command::new(bin())
+        .args([
+            "compress",
+            "--in",
+            partial_path.to_str().unwrap(),
+            "--out",
+            jwc_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "compress failed: {stderr}");
+    assert!(stderr.contains("compress:"), "{stderr}");
+    let plain = std::fs::read(&partial_path).unwrap();
+    let packed = std::fs::read(&jwc_path).unwrap();
+    let plain_file = bitstream::BitFile::from_bytes(&plain).unwrap();
+    assert!(
+        packed.len() < plain_file.bitstream.byte_len(),
+        "container ({}) must beat the raw payload ({})",
+        packed.len(),
+        plain_file.bitstream.byte_len()
+    );
+
+    let back_path = dir.join("back.bit");
+    let out = Command::new(bin())
+        .args([
+            "decompress",
+            "--in",
+            jwc_path.to_str().unwrap(),
+            "--out",
+            back_path.to_str().unwrap(),
+            "--design",
+            "roundtrip",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "decompress failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let back = bitstream::BitFile::from_bytes(&std::fs::read(&back_path).unwrap()).unwrap();
+    assert!(back.partial);
+    assert_eq!(back.device, Device::XCV50);
+    assert_eq!(
+        back.bitstream.to_bytes(),
+        plain_file.bitstream.to_bytes(),
+        "round trip must be byte-identical"
+    );
+
+    // With --base the encoder may delta-code; the same base must then
+    // be presented on decode, and the round trip still holds.
+    let jwc_delta = dir.join("partial-delta.jwc");
+    let out = Command::new(bin())
+        .args([
+            "compress",
+            "--in",
+            partial_path.to_str().unwrap(),
+            "--out",
+            jwc_delta.to_str().unwrap(),
+            "--base",
+            base_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "delta compress failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let back_delta = dir.join("back-delta.bit");
+    let out = Command::new(bin())
+        .args([
+            "decompress",
+            "--in",
+            jwc_delta.to_str().unwrap(),
+            "--out",
+            back_delta.to_str().unwrap(),
+            "--base",
+            base_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "delta decompress failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let back = bitstream::BitFile::from_bytes(&std::fs::read(&back_delta).unwrap()).unwrap();
+    assert_eq!(back.bitstream.to_bytes(), plain_file.bitstream.to_bytes());
+
+    // Corrupting the container surfaces a typed wire error, not a panic
+    // and not an output file.
+    let mut bad = std::fs::read(&jwc_path).unwrap();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x40;
+    let bad_path = dir.join("bad.jwc");
+    std::fs::write(&bad_path, &bad).unwrap();
+    let out = Command::new(bin())
+        .args([
+            "decompress",
+            "--in",
+            bad_path.to_str().unwrap(),
+            "--out",
+            dir.join("nope.bit").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    if !out.status.success() {
+        assert!(!dir.join("nope.bit").exists());
+    } else {
+        // A flip in section padding is unchecked; the decode must then
+        // still be byte-identical.
+        let b =
+            bitstream::BitFile::from_bytes(&std::fs::read(dir.join("nope.bit")).unwrap()).unwrap();
+        assert_eq!(b.bitstream.to_bytes(), plain_file.bitstream.to_bytes());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_sim_compressed_wire_cuts_download_traffic() {
+    let run = |wire: &str| {
+        let out = Command::new(bin())
+            .args([
+                "fleet-sim",
+                "--boards",
+                "16",
+                "--requests",
+                "600",
+                "--seed",
+                "5",
+                &format!("--wire={wire}"),
+                "--format",
+                "json",
+            ])
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "fleet-sim --wire={wire}: {stderr}");
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let plain = run("plain");
+    let compressed = run("compressed");
+    assert!(plain.contains("\"wire\":\"plain\""), "{plain}");
+    assert!(
+        compressed.contains("\"wire\":\"compressed\""),
+        "{compressed}"
+    );
+    let bytes = |j: &str| -> u64 {
+        let at = j.find("\"download_bytes\":").unwrap() + "\"download_bytes\":".len();
+        j[at..].split(',').next().unwrap().parse().unwrap()
+    };
+    assert!(
+        bytes(&compressed) * 3 <= bytes(&plain),
+        "compressed wire must cut modelled traffic at least 3x ({} vs {})",
+        bytes(&compressed),
+        bytes(&plain)
+    );
+
+    let bad = Command::new(bin())
+        .args(["fleet-sim", "--wire", "zip"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+}
+
+#[test]
 fn fleet_sim_defrag_compacts_and_stays_deterministic() {
     let run = |workers: &str| {
         let out = Command::new(bin())

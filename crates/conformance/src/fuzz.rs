@@ -36,10 +36,13 @@ pub enum Corruption {
     OrphanType2,
     /// Delete the WCFG command preceding the first FDRI write.
     StripWcfg,
+    /// Overwrite the FLR payload word with a frame length that is not
+    /// the device's — must be rejected before it can mis-frame a run.
+    CorruptFlr,
 }
 
 /// All categories, in the order `fuzz_case` cycles through them.
-pub const CORRUPTIONS: [Corruption; 8] = [
+pub const CORRUPTIONS: [Corruption; 9] = [
     Corruption::Truncate,
     Corruption::BadOpcode,
     Corruption::BadRegister,
@@ -48,6 +51,7 @@ pub const CORRUPTIONS: [Corruption; 8] = [
     Corruption::DuplicateSync,
     Corruption::OrphanType2,
     Corruption::StripWcfg,
+    Corruption::CorruptFlr,
 ];
 
 /// Walk a well-formed stream, returning `(word index, header)` for every
@@ -274,6 +278,49 @@ pub fn fuzz_case(seed: u64) -> Result<Corruption, Failure> {
             corrupted.drain(wcfg_at..wcfg_at + 2);
             check = Box::new(|e| matches!(e, ConfigError::WriteWithoutWcfg));
             expect_at = fdri_at - 2;
+        }
+        Corruption::CorruptFlr => {
+            let flr_at = sites
+                .iter()
+                .find(|(_, p)| {
+                    matches!(
+                        p,
+                        Packet::Type1 {
+                            op: Op::Write,
+                            reg: Register::Flr,
+                            count: 1
+                        }
+                    )
+                })
+                .map(|&(at, _)| at)
+                .expect("partial has an FLR write");
+            let device_flr = mem.geometry().frame_words() as u32;
+            let bogus = [0u32, 1, device_flr + 1, 0x7FFF_FFFF][rng.gen_range(0usize..4)];
+            corrupted[flr_at + 1] = bogus;
+            check = Box::new(move |e| {
+                matches!(e, ConfigError::FrameLengthMismatch { written, device }
+                    if *written == bogus && *device == device_flr)
+            });
+            expect_at = flr_at;
+
+            // The strict relocation parser must reject the same stream
+            // with a typed FLR mismatch naming the payload word —
+            // before the bogus length can frame any run.
+            match reloc::parse_partial(
+                device,
+                mem.geometry(),
+                &bitstream::Bitstream::from_words(corrupted.clone()),
+            ) {
+                Err(reloc::RelocError::FlrMismatch { at, found, .. })
+                    if at == flr_at + 1 && found == bogus => {}
+                other => {
+                    return Err(fail(
+                        seed,
+                        "fuzz-reloc-flr",
+                        format!("reloc parse on corrupt FLR returned {other:?}"),
+                    ))
+                }
+            }
         }
     }
 

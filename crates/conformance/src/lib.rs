@@ -21,7 +21,12 @@
 //! * [`reloc_trio`] — seeded relocation cases: every relocated partial
 //!   must be byte-identical to a fresh-at-target generation, land the
 //!   oracle's device state through the interpreter, and reject
-//!   incompatible shifts with a typed [`reloc::RelocError`].
+//!   incompatible shifts with a typed [`reloc::RelocError`];
+//! * [`wire_trio`] — seeded wire-container cases: every `JWC1` encoding
+//!   must round-trip byte-identically, stream-apply to the same device
+//!   state as the plain partial (delta sections included), and reject
+//!   corrupted containers with a typed [`wire::WireError`] carrying an
+//!   in-bounds offset.
 //!
 //! Any failure reproduces from `Campaign::generate(seed)` — the seed is
 //! printed in every [`harness::Failure`].
@@ -31,9 +36,11 @@ pub mod fuzz;
 pub mod harness;
 pub mod mutation;
 pub mod reloc_trio;
+pub mod wire_trio;
 
 pub use campaign::{Campaign, CampaignOp};
 pub use fuzz::{fuzz_case, Corruption};
 pub use harness::{run_batch, run_case, run_project_case, CaseOutcome, Failure, Schedule};
 pub use mutation::{self_check, SeededBug};
 pub use reloc_trio::{reloc_case, RelocOutcome, RELOC_DEVICES};
+pub use wire_trio::{wire_case, WireOutcome, WIRE_DEVICES};

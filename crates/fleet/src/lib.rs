@@ -36,7 +36,7 @@ pub use sched::{
     Backend, DefragConfig, Outcome, OutcomeKind, Priority, Resident, SchedConfig, ServeMode,
     SimRequest,
 };
-pub use service::{Fleet, FleetConfig, FleetReport, Request, Response};
+pub use service::{Fleet, FleetConfig, FleetReport, Request, Response, WireFormat};
 pub use sim::{simulate, simulate_trace, FleetSimSpec, SimReport};
 pub use store::{PartialKey, PartialStore, StoredPartial};
 pub use trace::TraceSpec;

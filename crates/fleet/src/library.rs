@@ -271,6 +271,17 @@ impl ServingLibrary {
                 .flat_map(|r| r.frames())
                 .flat_map(|f| wholesale.memory.frame(f).iter().copied())
                 .collect();
+            // Encode the wire containers once, alongside the plain
+            // artifacts: the incremental delta-codes against the base
+            // epoch's frames (the same contract the plain incremental
+            // already carries), the wholesale stays base-free so it can
+            // apply over any resident variant.
+            let wire_wholesale = wire::encode(self.device, &wholesale.bitstream, None);
+            let wire_incremental = wire::encode(
+                self.device,
+                &incremental.bitstream,
+                Some(state.project.base_memory() as &dyn wire::FrameSource),
+            );
             Ok(StoredPartial {
                 key,
                 full: full_bitstream(&wholesale.memory),
@@ -279,6 +290,8 @@ impl ServingLibrary {
                 frames_incremental: incremental.frames,
                 wholesale: wholesale.bitstream,
                 incremental: incremental.bitstream,
+                wire_wholesale,
+                wire_incremental,
             })
         });
         (

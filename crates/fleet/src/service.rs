@@ -29,6 +29,19 @@ use simboard::SimBoard;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// On-the-wire encoding of partial downloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WireFormat {
+    /// Raw SelectMAP packet stream, as [`jpg`] emits it.
+    #[default]
+    Plain,
+    /// [`wire`] `JWC1` containers: partials cross the port compressed
+    /// and are decoded stream-wise device-side. Full bitstreams (the
+    /// [`ServeMode::FullSwap`] baseline) always ship plain — that mode
+    /// models the no-partial-reconfiguration legacy flow.
+    Compressed,
+}
+
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -40,6 +53,8 @@ pub struct FleetConfig {
     /// First retry backoff (simulated port idle time); doubles per
     /// subsequent retry of the same request.
     pub backoff: Duration,
+    /// Wire encoding for partial downloads.
+    pub wire: WireFormat,
 }
 
 impl Default for FleetConfig {
@@ -48,6 +63,7 @@ impl Default for FleetConfig {
             mode: ServeMode::Partial,
             max_attempts: 16,
             backoff: Duration::from_micros(20),
+            wire: WireFormat::Plain,
         }
     }
 }
@@ -142,6 +158,7 @@ struct RealBackend<'a> {
     library: &'a ServingLibrary,
     requests: &'a [Request],
     frame_words: usize,
+    wire: WireFormat,
 }
 
 impl RealBackend<'_> {
@@ -165,11 +182,24 @@ impl Backend for RealBackend<'_> {
             .iter()
             .map(|r| (r.len + 1) * self.frame_words)
             .sum();
+        // Under the compressed wire format the scheduler's cost model
+        // must price what actually crosses the port: the container
+        // bytes. Readback replies and full bitstreams stay plain.
+        let (bytes_incremental, bytes_wholesale) = match self.wire {
+            WireFormat::Plain => (
+                stored.incremental.byte_len() as u64,
+                stored.wholesale.byte_len() as u64,
+            ),
+            WireFormat::Compressed => (
+                stored.wire_incremental.bytes.len() as u64,
+                stored.wire_wholesale.bytes.len() as u64,
+            ),
+        };
         let res = Resolved {
             store_hit: hit,
             generation: stored.key.epoch,
-            bytes_incremental: stored.incremental.byte_len() as u64,
-            bytes_wholesale: stored.wholesale.byte_len() as u64,
+            bytes_incremental,
+            bytes_wholesale,
             bytes_full: stored.full.byte_len() as u64,
             bytes_verify: verify_words as u64 * 4,
         };
@@ -184,14 +214,31 @@ impl Backend for RealBackend<'_> {
         flavor: Flavor,
         _res: &Resolved,
     ) -> DownloadResult {
-        let stream: &Bitstream = match flavor {
-            Flavor::Incremental => &art.incremental,
-            Flavor::Wholesale => &art.wholesale,
-            Flavor::Full => &art.full,
+        // Partial flavors optionally cross the port as compressed wire
+        // containers, decoded stream-wise device-side; full swaps model
+        // the legacy no-partial-reconfiguration flow and always ship
+        // plain.
+        let (configured, bytes) = match (self.wire, flavor) {
+            (WireFormat::Compressed, Flavor::Incremental) => {
+                let c = &art.wire_incremental.bytes;
+                (board.board.set_configuration_wire(c), c.len())
+            }
+            (WireFormat::Compressed, Flavor::Wholesale) => {
+                let c = &art.wire_wholesale.bytes;
+                (board.board.set_configuration_wire(c), c.len())
+            }
+            _ => {
+                let stream: &Bitstream = match flavor {
+                    Flavor::Incremental => &art.incremental,
+                    Flavor::Wholesale => &art.wholesale,
+                    Flavor::Full => &art.full,
+                };
+                (board.board.set_configuration(stream), stream.byte_len())
+            }
         };
-        let bytes = stream.byte_len() as u64;
-        let dl = download_time(stream.byte_len()).as_nanos() as u64;
-        if let Err(e) = board.board.set_configuration(stream) {
+        let dl = download_time(bytes).as_nanos() as u64;
+        let bytes = bytes as u64;
+        if let Err(e) = configured {
             return DownloadResult {
                 status: DownloadStatus::PortFault(e.to_string()),
                 bytes,
@@ -359,6 +406,7 @@ impl Fleet {
             library: &self.library,
             requests: &requests,
             frame_words: virtex::ConfigGeometry::for_device(self.library.device()).frame_words(),
+            wire: self.cfg.wire,
         };
         let sched_cfg = SchedConfig {
             mode: self.cfg.mode,

@@ -24,6 +24,7 @@ use crate::sched::{
     self, Backend, DefragConfig, DownloadResult, DownloadStatus, Flavor, Outcome, Resident,
     Resolved, SchedConfig, ServeMode, SimRequest,
 };
+use crate::service::WireFormat;
 use crate::trace::TraceSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,6 +63,12 @@ pub struct FleetSimSpec {
     pub fault_rate: f64,
     /// Download flavor.
     pub mode: ServeMode,
+    /// Wire encoding for partial downloads: under
+    /// [`WireFormat::Compressed`] the per-key partial byte counts are
+    /// scaled by seeded compression ratios calibrated against the real
+    /// `wire` encoder on the Figure-4 library (full bitstreams and
+    /// readback replies stay plain, as in the real backend).
+    pub wire: WireFormat,
     /// Retry budget per request.
     pub max_attempts: u32,
     /// Per-shard admission queue bound.
@@ -104,6 +111,7 @@ impl Default for FleetSimSpec {
             low_fraction: 0.10,
             fault_rate: 0.0,
             mode: ServeMode::Partial,
+            wire: WireFormat::Plain,
             max_attempts: 16,
             queue_cap: usize::MAX,
             shed_watermark: usize::MAX,
@@ -126,13 +134,32 @@ impl Default for FleetSimSpec {
 /// (one pad frame per read).
 fn model_sizes(spec: &FleetSimSpec) -> HashMap<(u32, u32), Resolved> {
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xA57F_AC75);
+    // Wire-compression ratios come from their own stream so switching
+    // formats never perturbs the base (plain) sizes of later keys.
+    let mut wire_rng = StdRng::seed_from_u64(spec.seed ^ 0x31BE_C0DE);
     let mut sizes = HashMap::new();
     for region in 0..spec.regions {
         for variant in 0..spec.variants {
-            let incremental = 4_096 + rng.gen_range(0..8_192u64);
-            let wholesale = incremental * 2 + rng.gen_range(0..4_096u64);
+            let mut incremental = 4_096 + rng.gen_range(0..8_192u64);
+            let mut wholesale = incremental * 2 + rng.gen_range(0..4_096u64);
             let full = 220_000 + rng.gen_range(0..20_000u64);
             let generation = rng.gen_range(1..u64::MAX);
+            // The readback reply is never compressed: size the verify
+            // traffic from the plain wholesale footprint before any
+            // wire scaling.
+            let verify = wholesale + wholesale / 4;
+            if spec.wire == WireFormat::Compressed {
+                // Per-key compression ratios (percent), calibrated from
+                // the real wire encoder on the Figure-4 library (see
+                // conformance `wire_smoke` / BENCH_wire_format.json):
+                // incrementals ship only dense dirty frames and compress
+                // 2.7-3.5x, while wholesales cover whole mostly-zero
+                // regions that RLE crushes 17-49x.
+                let r_inc = 270 + wire_rng.gen_range(0..80u64);
+                let r_who = 1_700 + wire_rng.gen_range(0..3_200u64);
+                incremental = (incremental * 100 / r_inc).max(1);
+                wholesale = (wholesale * 100 / r_who).max(1);
+            }
             sizes.insert(
                 (region, variant),
                 Resolved {
@@ -141,7 +168,7 @@ fn model_sizes(spec: &FleetSimSpec) -> HashMap<(u32, u32), Resolved> {
                     bytes_incremental: incremental,
                     bytes_wholesale: wholesale,
                     bytes_full: full,
-                    bytes_verify: wholesale + wholesale / 4,
+                    bytes_verify: verify,
                 },
             );
         }
@@ -480,6 +507,29 @@ mod tests {
             assert!(r.bytes_incremental < r.bytes_wholesale);
             assert!(r.bytes_wholesale < r.bytes_full / 4);
             assert!(r.bytes_verify >= r.bytes_wholesale);
+        }
+    }
+
+    #[test]
+    fn compressed_wire_scales_partials_but_not_verify_or_full() {
+        let plain = FleetSimSpec::default();
+        let compressed = FleetSimSpec {
+            wire: WireFormat::Compressed,
+            ..FleetSimSpec::default()
+        };
+        let a = model_sizes(&plain);
+        let b = model_sizes(&compressed);
+        for (k, p) in &a {
+            let c = &b[k];
+            // Partial traffic shrinks by at least the floor ratios
+            // (wholesales are mostly-zero region frames and compress
+            // far harder than the dense incremental deltas).
+            assert!(c.bytes_incremental <= p.bytes_incremental * 100 / 270);
+            assert!(c.bytes_wholesale <= p.bytes_wholesale * 100 / 1_700);
+            assert!(c.bytes_wholesale < c.bytes_incremental);
+            // Readback replies and full bitstreams never compress.
+            assert_eq!(c.bytes_verify, p.bytes_verify);
+            assert_eq!(c.bytes_full, p.bytes_full);
         }
     }
 

@@ -62,6 +62,12 @@ pub struct StoredPartial {
     pub frames_wholesale: usize,
     /// Frames the incremental partial writes.
     pub frames_incremental: usize,
+    /// Compressed wire container of the wholesale partial (no delta —
+    /// wholesale streams must apply over any resident content).
+    pub wire_wholesale: wire::Encoded,
+    /// Compressed wire container of the incremental partial,
+    /// delta-coded against the base epoch's frame content.
+    pub wire_incremental: wire::Encoded,
 }
 
 type Slot = Arc<OnceLock<Result<Arc<StoredPartial>, String>>>;
@@ -149,6 +155,7 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     fn dummy(key: PartialKey) -> StoredPartial {
+        let enc = |words: Vec<u32>| wire::encode(key.device, &Bitstream::from_words(words), None);
         StoredPartial {
             key,
             wholesale: Bitstream::from_words(vec![1]),
@@ -157,6 +164,8 @@ mod tests {
             expected: vec![],
             frames_wholesale: 1,
             frames_incremental: 1,
+            wire_wholesale: enc(vec![1]),
+            wire_incremental: enc(vec![2]),
         }
     }
 

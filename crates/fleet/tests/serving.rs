@@ -261,6 +261,53 @@ fn full_swap_mode_serves_the_same_answers_for_more_bytes() {
 }
 
 #[test]
+fn compressed_wire_serves_the_same_answers_for_fewer_bytes() {
+    let lib_p = library();
+    let lib_c = library();
+    let plain = Fleet::new(lib_p, 1, FleetConfig::default()).expect("fleet");
+    let compressed = Fleet::new(
+        lib_c,
+        1,
+        FleetConfig {
+            wire: fleet::WireFormat::Compressed,
+            ..FleetConfig::default()
+        },
+    )
+    .expect("fleet");
+
+    // First visits download incrementals (base-resident regions, delta
+    // sections decode against the boards' own frames); the revisit of
+    // (0, 0) after (0, 1) downloads a wholesale.
+    let stream = || {
+        vec![
+            counting_request(0, 0, 0, 4),
+            counting_request(1, 1, 0, 2),
+            counting_request(2, 0, 1, 1),
+            counting_request(3, 0, 0, 2),
+        ]
+    };
+    let rp = plain.run(stream());
+    let rc = compressed.run(stream());
+    assert_eq!(rp.served, 4);
+    assert_eq!(rc.served, 4);
+    assert_eq!(rc.failed, 0, "compressed downloads must verify");
+    for (a, b) in rp.responses.iter().zip(&rc.responses) {
+        assert_eq!(
+            a.outputs, b.outputs,
+            "wire format must not change semantics"
+        );
+    }
+    assert!(
+        compressed.metrics().download_bytes.get() < plain.metrics().download_bytes.get(),
+        "containers must be smaller than plain partials ({} vs {})",
+        compressed.metrics().download_bytes.get(),
+        plain.metrics().download_bytes.get()
+    );
+    assert!(rc.makespan < rp.makespan, "and cheaper on the port");
+    assert_eq!(compressed.metrics().verify_failures.get(), 0);
+}
+
+#[test]
 fn rebase_bumps_the_epoch_and_regenerates_on_demand() {
     let (base, catalogues) = fixture();
     let lib = Arc::new(ServingLibrary::build(&base, &catalogues, 90).expect("library"));

@@ -51,6 +51,30 @@ impl RelocSpec {
     }
 }
 
+/// How relocation rebuilds `FDRI` sections from the moved frames.
+///
+/// Gap-0 streams want [`Regroup`](RegroupPolicy::Regroup): columns that
+/// are array-neighbours at the target are major-adjacent near the die
+/// center, and fresh gap-0 generation merges them — regrouping is what
+/// keeps relocation byte-identical to fresh generation there. Bridged
+/// (gap>0) streams want [`PreserveSections`](RegroupPolicy::PreserveSections):
+/// their sections carry bridge frames whose grouping encodes the
+/// generator's `max_gap` decision, which regrouping would discard — a
+/// bridged incremental partial relocates to a byte-identical bridged
+/// stream only if each source section moves as a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegroupPolicy {
+    /// Re-coalesce maximal contiguous runs in target order (the
+    /// default; byte-identical to fresh gap-0 generation).
+    #[default]
+    Regroup,
+    /// Keep every source section intact: one output section per parsed
+    /// run, emitted in target order. A section whose frames scatter at
+    /// the target (a seam-spanning run under a shift that separates the
+    /// columns) is a typed [`RelocError::ScatteredRun`].
+    PreserveSections,
+}
+
 /// The class of a column kind for compatibility checks (sides and array
 /// positions may differ between source and target; the resource class
 /// may not).
@@ -203,32 +227,70 @@ pub fn relocate(
     partial: &Bitstream,
     spec: RelocSpec,
 ) -> Result<Bitstream, RelocError> {
+    relocate_with(device, partial, spec, RegroupPolicy::Regroup)
+}
+
+/// [`relocate`] with an explicit [`RegroupPolicy`] — use
+/// [`RegroupPolicy::PreserveSections`] for bridged (gap>0) streams so
+/// section boundaries survive the move.
+pub fn relocate_with(
+    device: Device,
+    partial: &Bitstream,
+    spec: RelocSpec,
+    policy: RegroupPolicy,
+) -> Result<Bitstream, RelocError> {
     let geom = device.config_geometry();
     let parsed = parse_partial(device, &geom, partial)?;
     let fw = parsed.flr;
 
-    // Map every frame to its target index.
+    // Map every frame to its target index, remembering which parsed run
+    // it came from so `PreserveSections` can keep sections whole.
     let mut moved: Vec<(usize, &[u32])> = Vec::with_capacity(parsed.total_frames());
-    for run in &parsed.runs {
+    let mut section_of: Vec<usize> = Vec::with_capacity(parsed.total_frames());
+    for (ri, run) in parsed.runs.iter().enumerate() {
         for (i, frame) in run.frames.chunks_exact(fw).enumerate() {
-            moved.push((map_frame(&geom, run.start + i, spec)?, frame));
+            let t = map_frame(&geom, run.start + i, spec)?;
+            if policy == RegroupPolicy::PreserveSections
+                && i > 0
+                && t != moved.last().unwrap().0 + 1
+            {
+                return Err(RelocError::ScatteredRun {
+                    run_start: run.start,
+                    frame: run.start + i,
+                });
+            }
+            moved.push((t, frame));
+            section_of.push(ri);
         }
     }
 
     // Target order, with overlap detection (two sources on one target
-    // would silently drop a frame).
-    moved.sort_by_key(|&(t, _)| t);
-    for w in moved.windows(2) {
-        if w[0].0 == w[1].0 {
-            return Err(RelocError::TargetOverlap { frame: w[0].0 });
+    // would silently drop a frame). Sections stay contiguous under this
+    // sort in `PreserveSections` mode because each maps to a contiguous
+    // target span and spans cannot interleave without overlapping.
+    let mut order: Vec<usize> = (0..moved.len()).collect();
+    order.sort_by_key(|&i| moved[i].0);
+    for w in order.windows(2) {
+        if moved[w[0]].0 == moved[w[1]].0 {
+            return Err(RelocError::TargetOverlap {
+                frame: moved[w[0]].0,
+            });
         }
     }
 
-    // Re-coalesce maximal contiguous runs in target space.
+    // Rebuild sections: maximal contiguous target runs under `Regroup`,
+    // source-section boundaries under `PreserveSections`.
     let mut runs: Vec<MovedRun<'_>> = Vec::new();
-    for (t, frame) in moved {
+    for &i in &order {
+        let (t, frame) = moved[i];
         match runs.last_mut() {
-            Some(r) if t == r.start + r.frames.len() => r.frames.push(frame),
+            Some(r)
+                if t == r.start + r.frames.len()
+                    && (policy == RegroupPolicy::Regroup
+                        || (i > 0 && section_of[i] == section_of[i - 1])) =>
+            {
+                r.frames.push(frame)
+            }
             _ => runs.push(MovedRun {
                 start: t,
                 frames: vec![frame],
@@ -408,6 +470,145 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, RelocError::OutOfDevice { .. }), "{err}");
+    }
+
+    /// Stamp a sparse minor set (gaps of one frame, clear of column
+    /// edges) in each of `cols`, exactly what incremental generation
+    /// produces before gap-1 bridging.
+    fn stamp_sparse(device: Device, cols: &[usize]) -> (ConfigMemory, Vec<usize>) {
+        let mut mem = ConfigMemory::new(device);
+        let geom = mem.geometry().clone();
+        let mut dirty = Vec::new();
+        for (rel, &c) in cols.iter().enumerate() {
+            let major = geom.major_for_clb_col(c).unwrap();
+            let r = FrameRange::for_column(&geom, BlockType::Clb, major).unwrap();
+            // Minors 2,4,5,8,10 of a 48-frame CLB column: bridged with
+            // max_gap 1 this coalesces to sections [2..6) and [8..11).
+            for (minor, f) in r.frames().enumerate() {
+                if ![2usize, 4, 5, 8, 10].contains(&minor) {
+                    continue;
+                }
+                for k in 0..mem.frame_words() {
+                    mem.frame_mut(f)[k] =
+                        (rel as u32) << 24 | (minor as u32) << 12 | k as u32 | 0x4000_0000;
+                }
+                dirty.push(f);
+            }
+        }
+        (mem, dirty)
+    }
+
+    #[test]
+    fn bridged_stream_relocates_to_byte_identical_bridged_stream() {
+        // The PR-7 leftover: a bridged (gap>0) stream's sections carry
+        // bridge frames whose grouping regrouping used to discard.
+        // Under `PreserveSections` the relocated stream is byte-identical
+        // to fresh bridged generation at the target origin.
+        for device in [Device::XCV50, Device::XCV300] {
+            let cols = [3usize, 7, 9];
+            let delta = 5i32;
+            let (mem, dirty) = stamp_sparse(device, &cols);
+            let runs = bitgen::coalesce_frames_bridged(dirty.clone(), 1);
+            assert!(
+                runs.iter().any(|r| r.len > 1),
+                "scenario must actually bridge"
+            );
+            let src = bitgen::partial_bitstream(&mem, &runs);
+
+            // Fresh bridged generation at the target origin.
+            let shifted: Vec<usize> = cols.iter().map(|&c| c + delta as usize).collect();
+            let (mem2, dirty2) = stamp_sparse(device, &shifted);
+            let runs2 = bitgen::coalesce_frames_bridged(dirty2, 1);
+            let fresh = bitgen::partial_bitstream(&mem2, &runs2);
+
+            let moved = relocate_with(
+                device,
+                &src,
+                RelocSpec::columns(delta),
+                RegroupPolicy::PreserveSections,
+            )
+            .unwrap();
+            assert_eq!(moved.to_bytes(), fresh.to_bytes(), "{device:?}");
+
+            // The section-preserving identity move is exact too.
+            let id = relocate_with(
+                device,
+                &src,
+                RelocSpec::default(),
+                RegroupPolicy::PreserveSections,
+            )
+            .unwrap();
+            assert_eq!(id, src, "{device:?}");
+        }
+    }
+
+    #[test]
+    fn preserve_sections_round_trips_bridged_streams() {
+        let device = Device::XCV100;
+        let (mem, dirty) = stamp_sparse(device, &[4, 6]);
+        let runs = bitgen::coalesce_frames_bridged(dirty, 1);
+        let src = bitgen::partial_bitstream(&mem, &runs);
+        let there = relocate_with(
+            device,
+            &src,
+            RelocSpec::columns(8),
+            RegroupPolicy::PreserveSections,
+        )
+        .unwrap();
+        let back = relocate_with(
+            device,
+            &there,
+            RelocSpec::columns(-8),
+            RegroupPolicy::PreserveSections,
+        )
+        .unwrap();
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn seam_spanning_section_is_a_typed_scatter_error() {
+        // A gap-0 run spanning the seam between majors 1 and 2 (the two
+        // center columns) scatters under any shift that separates the
+        // columns: `PreserveSections` must reject it, `Regroup` must
+        // still relocate it to the correct device state.
+        let device = Device::XCV50;
+        let mut mem = ConfigMemory::new(device);
+        let geom = mem.geometry().clone();
+        let r1 = FrameRange::for_column(&geom, BlockType::Clb, 1).unwrap();
+        let r2 = FrameRange::for_column(&geom, BlockType::Clb, 2).unwrap();
+        assert_eq!(r1.start + r1.len, r2.start, "majors 1,2 are seam-adjacent");
+        let last_of_1 = r1.start + r1.len - 1;
+        let first_of_2 = r2.start;
+        for f in [last_of_1, first_of_2] {
+            mem.frame_mut(f)[0] = 0xC0DE_0000 | f as u32;
+        }
+        let runs = bitgen::coalesce_frames(mem.dirty_frames());
+        assert_eq!(runs.len(), 1, "one seam-spanning run");
+        let src = bitgen::partial_bitstream(&mem, &runs);
+
+        let err = relocate_with(
+            device,
+            &src,
+            RelocSpec::columns(2),
+            RegroupPolicy::PreserveSections,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RelocError::ScatteredRun { run_start, frame }
+                    if run_start == last_of_1 && frame == first_of_2
+            ),
+            "{err}"
+        );
+
+        let moved = relocate(device, &src, RelocSpec::columns(2)).unwrap();
+        let mut dev = Interpreter::new(device);
+        dev.feed(&moved).unwrap();
+        for f in [last_of_1, first_of_2] {
+            let t = map_frame(&geom, f, RelocSpec::columns(2)).unwrap();
+            assert_eq!(dev.memory().frame(t)[0], 0xC0DE_0000 | f as u32);
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod engine;
 pub mod parse;
 pub mod slots;
 
-pub use engine::{map_frame, relocate, RelocSpec};
+pub use engine::{map_frame, relocate, relocate_with, RegroupPolicy, RelocSpec};
 pub use parse::{parse_partial, ParsedPartial, ParsedRun};
 pub use slots::{SlotMap, SlotMove};
 
@@ -70,11 +70,17 @@ pub enum RelocError {
         found: u32,
     },
     /// The stream's `FLR` write disagrees with the device frame length.
+    ///
+    /// Rejected *before* the word is used to frame any payload: a
+    /// corrupt FLR would otherwise mis-frame every run (or demand a
+    /// huge allocation downstream).
     FlrMismatch {
+        /// Word offset of the FLR payload word.
+        at: usize,
         /// Frame length (words) of the target device.
         expected: usize,
         /// Frame length found in the stream.
-        found: usize,
+        found: u32,
     },
     /// A `FAR` word did not decode to a frame of this device.
     BadFar {
@@ -143,6 +149,16 @@ pub enum RelocError {
         /// The doubly-written target frame (linear index).
         frame: usize,
     },
+    /// Under [`engine::RegroupPolicy::PreserveSections`], a source
+    /// section's frames do not stay contiguous at the target (the run
+    /// spans a column seam and the shift scatters it), so its section
+    /// boundary cannot be preserved.
+    ScatteredRun {
+        /// Linear index of the source run's first frame.
+        run_start: usize,
+        /// The first source frame whose target breaks contiguity.
+        frame: usize,
+    },
 }
 
 impl fmt::Display for RelocError {
@@ -160,10 +176,14 @@ impl fmt::Display for RelocError {
                     "IDCODE {found:#010x} does not match device ({expected:#010x})"
                 )
             }
-            RelocError::FlrMismatch { expected, found } => {
+            RelocError::FlrMismatch {
+                at,
+                expected,
+                found,
+            } => {
                 write!(
                     f,
-                    "FLR {found} does not match device frame length {expected}"
+                    "FLR {found} at word {at} does not match device frame length {expected}"
                 )
             }
             RelocError::BadFar { at, far } => {
@@ -210,6 +230,13 @@ impl fmt::Display for RelocError {
             }
             RelocError::TargetOverlap { frame } => {
                 write!(f, "two source frames map onto target frame {frame}")
+            }
+            RelocError::ScatteredRun { run_start, frame } => {
+                write!(
+                    f,
+                    "run at frame {run_start} scatters at frame {frame}; \
+                     its section boundary cannot be preserved"
+                )
             }
         }
     }

@@ -142,15 +142,20 @@ pub fn parse_partial(
             found: idcode,
         });
     }
+    // FLR payload word sits one past its packet header.
+    let flr_at = c.at + 1;
     let flr_word = expect_write1(&mut c, Register::Flr, "FLR write")?;
     crc.update(Register::Flr, flr_word);
-    let flr = flr_word as usize;
-    if flr != geom.frame_words() {
+    // Cross-check against the device geometry *before* the word is used
+    // to frame anything: a corrupt FLR mis-frames every run downstream.
+    if flr_word as u64 != geom.frame_words() as u64 {
         return Err(RelocError::FlrMismatch {
+            at: flr_at,
             expected: geom.frame_words(),
-            found: flr,
+            found: flr_word,
         });
     }
+    let flr = geom.frame_words();
 
     let mut runs = Vec::new();
     loop {
@@ -330,6 +335,29 @@ mod tests {
         // No preamble.
         let err = parse_partial(device, geom, &Bitstream::from_words(vec![0, 0])).unwrap_err();
         assert_eq!(err, RelocError::BadPreamble);
+    }
+
+    #[test]
+    fn corrupt_flr_is_rejected_before_framing_with_offset() {
+        // Stream layout: DUMMY SYNC, CMD hdr+RCRC, IDCODE hdr+payload,
+        // FLR hdr+payload — the FLR payload word is word 7.
+        let device = Device::XCV50;
+        let (mem, bits, _) = sample(device);
+        let geom = mem.geometry();
+        for bogus in [0u32, 1, geom.frame_words() as u32 + 1, 0x7FFF_FFFF] {
+            let mut words = bits.words().to_vec();
+            words[7] = bogus;
+            let err = parse_partial(device, geom, &Bitstream::from_words(words)).unwrap_err();
+            assert_eq!(
+                err,
+                RelocError::FlrMismatch {
+                    at: 7,
+                    expected: geom.frame_words(),
+                    found: bogus,
+                },
+                "FLR {bogus:#x}"
+            );
+        }
     }
 
     #[test]

@@ -104,6 +104,19 @@ impl SimBoard {
         self.port.set_fault_injector(injector);
     }
 
+    /// Configure from a compressed wire container ([`wire`] `JWC1`),
+    /// decoded stream-wise on the device side, then rebuild the fabric
+    /// simulation — the wire-format counterpart of
+    /// [`Xhwif::set_configuration`]. Delta sections XOR against the
+    /// board's own resident frames, so incremental containers are only
+    /// valid while the target region holds base content (the same
+    /// contract as plain incremental partials, now checksum-enforced).
+    pub fn set_configuration_wire(&mut self, container: &[u8]) -> Result<(), ConfigError> {
+        self.port.load_wire(container)?;
+        self.redecode()
+            .map_err(|e| ConfigError::InvalidConfiguration(e.to_string()))
+    }
+
     /// Inject a single-event upset: flip one configuration bit in place,
     /// exactly as ionizing radiation would, and let the (changed) circuit
     /// keep running with its flip-flop state intact. Returns `false` for

@@ -176,6 +176,59 @@ impl SelectMap {
         }
     }
 
+    /// Push a compressed wire container through the port, decoding it
+    /// stream-wise on the device side ([`wire::apply_streaming`]).
+    ///
+    /// The byte-per-CCLK cost is the *container's* length — the whole
+    /// point of the wire format: fewer bytes cross the cable for the
+    /// same configuration. Fault fates mirror [`Self::load`] exactly:
+    /// a dropped transfer commits nothing but spends the cable time; a
+    /// corrupt transfer completes and flips one bit in a written frame.
+    pub fn load_wire(&mut self, container: &[u8]) -> Result<(), ConfigError> {
+        self.bytes_loaded += container.len() as u64;
+        self.downloads += 1;
+        obs::counter!("simboard_downloads_total").inc();
+        obs::counter!("simboard_download_bytes_total").add(container.len() as u64);
+        obs::record_duration("download", download_time(container.len()));
+        let draw = match &mut self.fault {
+            Some(f) => f.draw(),
+            None => FaultKind::Clean,
+        };
+        let apply = |interp: &mut Interpreter| {
+            wire::apply_streaming(interp, container).map_err(|e| match e {
+                wire::ApplyError::Config(c) => c,
+                wire::ApplyError::Wire(w) => {
+                    ConfigError::InvalidConfiguration(format!("wire: {w}"))
+                }
+            })
+        };
+        match draw {
+            FaultKind::Clean => apply(&mut self.interp).map(|_| ()),
+            FaultKind::Drop => {
+                obs::counter!("simboard_faults_injected_total", "kind" => "drop").inc();
+                Err(ConfigError::TransferFault)
+            }
+            FaultKind::Corrupt => {
+                obs::counter!("simboard_faults_injected_total", "kind" => "corrupt").inc();
+                self.interp.memory_mut().clear_dirty();
+                apply(&mut self.interp)?;
+                let written = self.interp.memory().dirty_frames();
+                if let Some(f) = &mut self.fault {
+                    if !written.is_empty() {
+                        let frame = written[f.rng.gen_range(0..written.len())];
+                        let bit = f
+                            .rng
+                            .gen_range(0..self.interp.memory().geometry().frame_bits());
+                        let mem = self.interp.memory_mut();
+                        let old = mem.get_bit(frame, bit);
+                        mem.set_bit(frame, bit, !old);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Cumulative bytes pushed through the port.
     pub fn bytes_loaded(&self) -> u64 {
         self.bytes_loaded
@@ -313,6 +366,52 @@ mod tests {
         port.set_fault_injector(None);
         port.load(&bs).unwrap();
         assert_eq!(port.interpreter().memory(), &mem);
+    }
+
+    #[test]
+    fn wire_load_lands_the_same_configuration_with_fewer_bytes() {
+        let mut mem = ConfigMemory::new(Device::XCV50);
+        for f in 0..8 {
+            mem.frame_mut(f)[2] = 0xC0DE_0000 | f as u32;
+        }
+        let bs = full_bitstream(&mem);
+        let enc = wire::encode(Device::XCV50, &bs, None);
+
+        let mut plain = SelectMap::new(Device::XCV50);
+        plain.load(&bs).unwrap();
+        let mut wired = SelectMap::new(Device::XCV50);
+        wired.load_wire(&enc.bytes).unwrap();
+        assert_eq!(plain.interpreter().memory(), wired.interpreter().memory());
+        assert!(
+            wired.bytes_loaded() < plain.bytes_loaded(),
+            "the port must be billed for container bytes, not decoded bytes"
+        );
+
+        // Fault fates mirror the plain path: a rate-1 injector either
+        // drops (nothing committed) or corrupts (exactly one frame off).
+        let mut faulty = SelectMap::new(Device::XCV50);
+        faulty.set_fault_injector(Some(FaultInjector::new(1.0, 11)));
+        match faulty.load_wire(&enc.bytes) {
+            Err(ConfigError::TransferFault) => {
+                assert!(!faulty.interpreter().started(), "drop commits nothing");
+            }
+            Err(e) => panic!("unexpected wire-load failure: {e}"),
+            Ok(()) => {
+                let diff = faulty
+                    .interpreter()
+                    .memory()
+                    .diff_frames(plain.interpreter().memory());
+                assert_eq!(diff.len(), 1, "corrupt flips one written frame");
+            }
+        }
+        assert_eq!(faulty.bytes_loaded(), enc.bytes.len() as u64);
+
+        // A garbage container is a typed configuration error.
+        let mut port = SelectMap::new(Device::XCV50);
+        assert!(matches!(
+            port.load_wire(&[0xAB; 64]),
+            Err(ConfigError::InvalidConfiguration(_))
+        ));
     }
 
     #[test]

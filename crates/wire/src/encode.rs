@@ -1,0 +1,331 @@
+//! Container encoder: split a partial bitstream into sections and pick
+//! the cheapest payload mode for each.
+//!
+//! The encoder scans the partial's packet structure the same way the
+//! device would, so it knows which word spans are FDRI frame payloads
+//! (compressible, delta-eligible) and which are control words (headers,
+//! FAR seeks, CRC, trailer — stored raw or lightly RLE'd). If the scan
+//! hits anything unexpected, the whole stream falls back to opaque
+//! sections without delta: the container always round-trips
+//! byte-identically, compression is just weaker.
+//!
+//! Delta sections are only emitted when the caller supplies a base
+//! [`FrameSource`] — the generator does this exclusively for
+//! *incremental* partials, whose application contract guarantees the
+//! device's resident frames equal the base content the encoder XORed
+//! against. A run's trailing pad frame is never delta-coded
+//! (`delta_words` stops short of it): the pad is discarded by the
+//! interpreter, so the frame slot it addresses carries no base-content
+//! guarantee.
+
+use crate::{
+    fnv1a_bytes, fnv1a_words, huff, rle, FrameSource, Mode, WireStats, HEADER_BYTES, MAGIC,
+    SECTION_MAX_WORDS,
+};
+use bitstream::packet::Op;
+use bitstream::{Bitstream, Packet, Register, SYNC_WORD};
+use virtex::{ConfigGeometry, Device, FrameAddress};
+
+/// An encoded container plus what the encoder did to produce it.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// The container bytes (header + sections).
+    pub bytes: Vec<u8>,
+    /// Size and per-mode accounting.
+    pub stats: WireStats,
+}
+
+/// One contiguous word span of the input stream.
+struct Span {
+    /// Word range in the input.
+    start: usize,
+    len: usize,
+    /// For FDRI payload spans: linear index of the first frame, and
+    /// whether the span's final frame is the run's zero pad.
+    frames: Option<(usize, bool)>,
+}
+
+/// Encode `partial` (a bitstream for `device`) into a `JWC1` container.
+///
+/// `base` enables frame-delta coding and must describe the content the
+/// *device* will hold when the container is decoded — pass the base
+/// epoch's configuration memory for incremental partials, `None` for
+/// wholesale or full streams.
+pub fn encode(device: Device, partial: &Bitstream, base: Option<&dyn FrameSource>) -> Encoded {
+    let _g = obs::span!("wire_encode");
+    let geom = ConfigGeometry::for_device(device);
+    let words = partial.words();
+    let flr = geom.frame_words();
+
+    let spans = scan(&geom, words).unwrap_or_else(|| {
+        vec![Span {
+            start: 0,
+            len: words.len(),
+            frames: None,
+        }]
+    });
+
+    let mut stats = WireStats {
+        decoded_bytes: words.len() * 4,
+        ..WireStats::default()
+    };
+    let mut body = Vec::new();
+    let mut sections = 0usize;
+    for span in &spans {
+        for (chunk_start, chunk_len, start_frame, delta_words) in chunks(span, flr) {
+            let chunk = &words[chunk_start..chunk_start + chunk_len];
+            let (mode, payload) = best_mode(chunk, start_frame, delta_words, flr, base);
+            let delta_words = if mode.needs_base() { delta_words } else { 0 };
+            debug_assert!(chunk_len < 1 << 24);
+            body.extend_from_slice(&(((mode as u32) << 24) | chunk_len as u32).to_be_bytes());
+            body.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            body.extend_from_slice(&(start_frame as u32).to_be_bytes());
+            body.extend_from_slice(&(delta_words as u32).to_be_bytes());
+            body.extend_from_slice(&fnv1a_words(chunk).to_be_bytes());
+            body.extend_from_slice(&payload);
+            while body.len() % 4 != 0 {
+                body.push(0);
+            }
+            sections += 1;
+            stats.mode_counts[mode as usize] += 1;
+        }
+    }
+
+    let mut bytes = Vec::with_capacity(HEADER_BYTES + body.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&device.idcode().to_be_bytes());
+    bytes.extend_from_slice(&(flr as u32).to_be_bytes());
+    bytes.extend_from_slice(&(words.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(&(sections as u32).to_be_bytes());
+    let checksum = fnv1a_bytes(&bytes);
+    bytes.extend_from_slice(&checksum.to_be_bytes());
+    bytes.extend_from_slice(&body);
+
+    stats.encoded_bytes = bytes.len();
+    stats.sections = sections;
+    obs::counter!("wire_encodes_total").inc();
+    obs::counter!("wire_encode_sections_total").add(sections as u64);
+    obs::counter!("wire_bytes_decoded_total").add(stats.decoded_bytes as u64);
+    obs::counter!("wire_bytes_on_wire_total").add(stats.encoded_bytes as u64);
+    Encoded { bytes, stats }
+}
+
+/// Split the stream into control and FDRI payload spans by walking its
+/// packets. `None` means the stream does not look like a well-formed
+/// write-only configuration stream — the caller falls back to opaque
+/// encoding.
+fn scan(geom: &ConfigGeometry, words: &[u32]) -> Option<Vec<Span>> {
+    let sync = words.iter().position(|&w| w == SYNC_WORD)?;
+    let mut spans = Vec::new();
+    let mut control_start = 0usize;
+    let mut i = sync + 1;
+    let mut last_far: Option<usize> = None;
+    let mut last_reg: Option<Register> = None;
+    while i < words.len() {
+        let header = Packet::decode(words[i]).ok()?;
+        let (payload_at, count, is_fdri) = match header {
+            Packet::Type1 { op, reg, count } => {
+                if op == Op::Read {
+                    // Partials on the wire are write-only; a read means
+                    // this is not the stream shape we understand.
+                    return None;
+                }
+                last_reg = Some(reg);
+                if reg == Register::Far && count == 1 && op == Op::Write {
+                    let far_word = *words.get(i + 1)?;
+                    let far = FrameAddress::from_word(far_word)?;
+                    last_far = Some(geom.frame_index(far)?);
+                }
+                (i + 1, count, reg == Register::Fdri && op == Op::Write)
+            }
+            Packet::Type2 { op, count } => {
+                if op == Op::Read {
+                    return None;
+                }
+                (i + 1, count, last_reg == Some(Register::Fdri))
+            }
+        };
+        if payload_at + count > words.len() {
+            return None;
+        }
+        if is_fdri && count > 0 {
+            // Frame payloads are whole frames plus the pad frame; the
+            // first frame index comes from the preceding FAR seek.
+            let flr = geom.frame_words();
+            if count % flr != 0 {
+                return None;
+            }
+            let start_frame = last_far?;
+            if control_start < payload_at {
+                spans.push(Span {
+                    start: control_start,
+                    len: payload_at - control_start,
+                    frames: None,
+                });
+            }
+            spans.push(Span {
+                start: payload_at,
+                len: count,
+                frames: Some((start_frame, true)),
+            });
+            control_start = payload_at + count;
+        }
+        i = payload_at + count;
+    }
+    if control_start < words.len() {
+        spans.push(Span {
+            start: control_start,
+            len: words.len() - control_start,
+            frames: None,
+        });
+    }
+    Some(spans)
+}
+
+/// Cut a span into section-sized chunks: `(word_start, word_len,
+/// start_frame, delta_words)` tuples. Frame spans cut on frame
+/// boundaries; the run's pad frame is excluded from `delta_words`.
+fn chunks(span: &Span, flr: usize) -> Vec<(usize, usize, usize, usize)> {
+    let mut out = Vec::new();
+    match span.frames {
+        None => {
+            let mut off = 0;
+            while off < span.len {
+                let len = (span.len - off).min(SECTION_MAX_WORDS);
+                out.push((span.start + off, len, 0, 0));
+                off += len;
+            }
+        }
+        Some((first_frame, has_pad)) => {
+            let frames = span.len / flr;
+            let per = (SECTION_MAX_WORDS / flr).max(1);
+            let mut f = 0;
+            while f < frames {
+                let k = (frames - f).min(per);
+                let is_last = f + k == frames;
+                let pad_frames = usize::from(has_pad && is_last);
+                out.push((
+                    span.start + f * flr,
+                    k * flr,
+                    first_frame + f,
+                    (k - pad_frames) * flr,
+                ));
+                f += k;
+            }
+        }
+    }
+    out
+}
+
+/// Try every applicable mode for one chunk and keep the smallest
+/// payload (ties break toward the simpler mode).
+fn best_mode(
+    chunk: &[u32],
+    start_frame: usize,
+    delta_words: usize,
+    flr: usize,
+    base: Option<&dyn FrameSource>,
+) -> (Mode, Vec<u8>) {
+    let mut best_mode = Mode::Raw;
+    let mut best: Vec<u8> = Vec::with_capacity(chunk.len() * 4);
+    for &w in chunk {
+        best.extend_from_slice(&w.to_be_bytes());
+    }
+
+    let mut rle_bytes = Vec::new();
+    rle::encode(chunk, &mut rle_bytes);
+    if rle_bytes.len() < best.len() {
+        best = rle_bytes.clone();
+        best_mode = Mode::Rle;
+    }
+    let mut huffed = Vec::new();
+    if huff::encode(&rle_bytes, &mut huffed).is_some() && huffed.len() < best.len() {
+        best = huffed;
+        best_mode = Mode::HuffRle;
+    }
+
+    if delta_words > 0 {
+        if let Some(deltaed) = delta(chunk, start_frame, delta_words, flr, base) {
+            let mut drle = Vec::new();
+            rle::encode(&deltaed, &mut drle);
+            if drle.len() < best.len() {
+                best = drle.clone();
+                best_mode = Mode::DeltaRle;
+            }
+            let mut dhuff = Vec::new();
+            if huff::encode(&drle, &mut dhuff).is_some() && dhuff.len() < best.len() {
+                best = dhuff;
+                best_mode = Mode::HuffDeltaRle;
+            }
+        }
+    }
+    (best_mode, best)
+}
+
+/// XOR the leading `delta_words` of `chunk` against the base frames
+/// starting at `start_frame`; trailing words (the pad frame) pass
+/// through. `None` when the base cannot supply every needed frame.
+fn delta(
+    chunk: &[u32],
+    start_frame: usize,
+    delta_words: usize,
+    flr: usize,
+    base: Option<&dyn FrameSource>,
+) -> Option<Vec<u32>> {
+    let base = base?;
+    if base.frame_words() != flr {
+        return None;
+    }
+    let mut out = chunk.to_vec();
+    for (k, frame_chunk) in out[..delta_words].chunks_mut(flr).enumerate() {
+        let bf = base.frame(start_frame + k)?;
+        for (w, &b) in frame_chunk.iter_mut().zip(bf) {
+            *w ^= b;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_is_frame_aligned_and_excludes_pad_from_delta() {
+        let flr = 12;
+        let span = Span {
+            start: 100,
+            len: 5 * flr,
+            frames: Some((40, true)),
+        };
+        let parts = chunks(&span, flr);
+        assert_eq!(parts, vec![(100, 5 * flr, 40, 4 * flr)]);
+
+        // A span bigger than SECTION_MAX_WORDS splits on frame
+        // boundaries and only the final chunk excludes its pad.
+        let many = SECTION_MAX_WORDS / flr + 3;
+        let span = Span {
+            start: 0,
+            len: many * flr,
+            frames: Some((0, true)),
+        };
+        let parts = chunks(&span, flr);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].3, parts[0].1, "non-final chunk deltas fully");
+        assert_eq!(parts[1].3, parts[1].1 - flr, "final chunk skips pad");
+        assert_eq!(parts[0].1 % flr, 0);
+    }
+
+    #[test]
+    fn control_chunks_never_delta() {
+        let span = Span {
+            start: 7,
+            len: 3 * SECTION_MAX_WORDS + 5,
+            frames: None,
+        };
+        let parts = chunks(&span, 12);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.2 == 0 && p.3 == 0));
+        assert_eq!(parts.iter().map(|p| p.1).sum::<usize>(), span.len);
+    }
+}

@@ -1,0 +1,286 @@
+//! Canonical Huffman coding over RLE token bytes — the entropy layer
+//! behind [`Mode::HuffRle`](crate::Mode::HuffRle) and
+//! [`Mode::HuffDeltaRle`](crate::Mode::HuffDeltaRle).
+//!
+//! The coded form is fully self-describing:
+//!
+//! * 128 bytes: code lengths for all 256 byte symbols, packed two
+//!   4-bit nibbles per byte (high nibble = even symbol). Length 0
+//!   means the symbol is absent; lengths run 1..=15.
+//! * `u32` (big-endian): number of source bytes.
+//! * The code bits, MSB-first, zero-padded to a byte boundary.
+//!
+//! Codes are canonical — assigned in (length, symbol) order — so the
+//! table is just lengths, and encode/decode agree byte-for-byte across
+//! platforms. The builder caps code length at 15; inputs skewed enough
+//! to need deeper codes simply return `None` and the caller keeps the
+//! plain RLE section (compression is best-effort, correctness is not).
+
+use crate::WireError;
+
+/// Code-length table overhead in bytes (256 nibbles + source count).
+pub const TABLE_BYTES: usize = 128 + 4;
+
+/// Longest canonical code length the nibble-packed table can express.
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Huffman-code `src`, appending table + count + bits to `out`.
+/// Returns `None` (leaving `out` untouched) when the code cannot be
+/// built within [`MAX_CODE_LEN`] or the input is empty.
+pub fn encode(src: &[u8], out: &mut Vec<u8>) -> Option<()> {
+    if src.is_empty() || src.len() > u32::MAX as usize {
+        return None;
+    }
+    let mut freq = [0u64; 256];
+    for &b in src {
+        freq[b as usize] += 1;
+    }
+    let lens = code_lengths(&freq)?;
+    let codes = canonical_codes(&lens);
+
+    for pair in 0..128 {
+        out.push(((lens[2 * pair] as u8) << 4) | lens[2 * pair + 1] as u8);
+    }
+    out.extend_from_slice(&(src.len() as u32).to_be_bytes());
+
+    let mut acc: u32 = 0;
+    let mut nbits: u32 = 0;
+    for &b in src {
+        let (code, len) = codes[b as usize];
+        acc = (acc << len) | code;
+        nbits += len;
+        while nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+        }
+    }
+    if nbits > 0 {
+        out.push((acc << (8 - nbits)) as u8);
+    }
+    Some(())
+}
+
+/// Decode a Huffman-coded region, appending the source bytes to `out`.
+///
+/// `abs` is the byte offset of `coded[0]` in the container (for error
+/// offsets). Returns the number of bytes of `coded` consumed.
+pub fn decode(coded: &[u8], abs: usize, out: &mut Vec<u8>) -> Result<usize, WireError> {
+    if coded.len() < TABLE_BYTES {
+        return Err(WireError::Truncated {
+            at: abs + coded.len(),
+        });
+    }
+    let mut lens = [0u32; 256];
+    for pair in 0..128 {
+        lens[2 * pair] = (coded[pair] >> 4) as u32;
+        lens[2 * pair + 1] = (coded[pair] & 0xF) as u32;
+    }
+    let count = u32::from_be_bytes([coded[128], coded[129], coded[130], coded[131]]) as usize;
+
+    // Canonical decode tables: how many codes of each length, the
+    // first code value at each length, and symbols in canonical order.
+    let mut len_count = [0u32; 16];
+    let mut symbols = Vec::with_capacity(256);
+    for len in 1..=MAX_CODE_LEN {
+        for (sym, &l) in lens.iter().enumerate() {
+            if l == len {
+                len_count[len as usize] += 1;
+                symbols.push(sym as u8);
+            }
+        }
+    }
+    if symbols.is_empty() {
+        return Err(WireError::BadHuffman { at: abs });
+    }
+    // Kraft check: an over-subscribed table would make codes ambiguous.
+    let kraft: u64 = (1..=MAX_CODE_LEN)
+        .map(|l| (len_count[l as usize] as u64) << (MAX_CODE_LEN - l))
+        .sum();
+    if kraft > 1 << MAX_CODE_LEN {
+        return Err(WireError::BadHuffman { at: abs });
+    }
+    let mut first_code = [0u32; 17];
+    let mut first_index = [0u32; 17];
+    let mut code = 0u32;
+    let mut index = 0u32;
+    for len in 1..=MAX_CODE_LEN as usize {
+        first_code[len] = code;
+        first_index[len] = index;
+        code = (code + len_count[len]) << 1;
+        index += len_count[len];
+    }
+
+    let bits = &coded[TABLE_BYTES..];
+    let mut bit = 0usize;
+    out.reserve(count);
+    for _ in 0..count {
+        let mut code = 0u32;
+        let mut len = 0usize;
+        loop {
+            if bit >= bits.len() * 8 {
+                return Err(WireError::Truncated {
+                    at: abs + coded.len(),
+                });
+            }
+            code = (code << 1) | ((bits[bit / 8] >> (7 - bit % 8)) & 1) as u32;
+            bit += 1;
+            len += 1;
+            if len > MAX_CODE_LEN as usize {
+                return Err(WireError::BadHuffman {
+                    at: abs + TABLE_BYTES + (bit - 1) / 8,
+                });
+            }
+            let n = len_count[len];
+            if n > 0 && code >= first_code[len] && code < first_code[len] + n {
+                let sym = symbols[(first_index[len] + code - first_code[len]) as usize];
+                out.push(sym);
+                break;
+            }
+        }
+    }
+    Ok(TABLE_BYTES + bit.div_ceil(8))
+}
+
+/// Huffman code lengths for `freq`, or `None` when the optimal code
+/// exceeds [`MAX_CODE_LEN`]. Deterministic: ties merge lowest-weight,
+/// then oldest node first.
+fn code_lengths(freq: &[u64; 256]) -> Option<[u32; 256]> {
+    // Nodes: 0..256 are leaves, higher are merges.
+    let mut weight = Vec::with_capacity(512);
+    let mut parent = vec![usize::MAX; 512];
+    let mut live: Vec<usize> = Vec::new();
+    for (sym, &f) in freq.iter().enumerate() {
+        weight.push(f);
+        if f > 0 {
+            live.push(sym);
+        }
+    }
+    if live.is_empty() {
+        return None;
+    }
+    if live.len() == 1 {
+        let mut lens = [0u32; 256];
+        lens[live[0]] = 1;
+        return Some(lens);
+    }
+    // Repeatedly merge the two smallest live nodes. (sym/node index is
+    // the deterministic tiebreak via the stable sort below.)
+    while live.len() > 1 {
+        live.sort_by_key(|&n| weight[n]);
+        let a = live[0];
+        let b = live[1];
+        let node = weight.len();
+        weight.push(weight[a] + weight[b]);
+        parent.push(usize::MAX);
+        parent[a] = node;
+        parent[b] = node;
+        live.splice(0..2, [node]);
+    }
+    let mut lens = [0u32; 256];
+    for sym in 0..256 {
+        if freq[sym] == 0 {
+            continue;
+        }
+        let mut depth = 0;
+        let mut n = sym;
+        while parent[n] != usize::MAX {
+            n = parent[n];
+            depth += 1;
+        }
+        if depth > MAX_CODE_LEN {
+            return None;
+        }
+        lens[sym] = depth;
+    }
+    Some(lens)
+}
+
+/// Canonical `(code, len)` per symbol from a length table.
+fn canonical_codes(lens: &[u32; 256]) -> [(u32, u32); 256] {
+    let mut codes = [(0u32, 0u32); 256];
+    let mut code = 0u32;
+    for len in 1..=MAX_CODE_LEN {
+        for (sym, &l) in lens.iter().enumerate() {
+            if l == len {
+                codes[sym] = (code, len);
+                code += 1;
+            }
+        }
+        code <<= 1;
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(src: &[u8]) -> usize {
+        let mut coded = Vec::new();
+        encode(src, &mut coded).expect("encodable");
+        let mut back = Vec::new();
+        let used = decode(&coded, 0, &mut back).expect("decodable");
+        assert_eq!(used, coded.len());
+        assert_eq!(back, src);
+        coded.len()
+    }
+
+    #[test]
+    fn round_trips_typical_streams() {
+        round_trip(&[7]);
+        round_trip(&[0, 0, 0, 0]);
+        round_trip(b"abracadabra, a most entropic banana cabana");
+        let skewed: Vec<u8> = (0..4000u32)
+            .map(|i| if i % 17 == 0 { 3 } else { 0 })
+            .collect();
+        let coded = round_trip(&skewed);
+        assert!(coded < skewed.len(), "skewed stream must shrink");
+    }
+
+    #[test]
+    fn round_trips_all_symbols() {
+        let all: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        round_trip(&all);
+    }
+
+    #[test]
+    fn empty_input_is_not_encodable() {
+        let mut out = Vec::new();
+        assert!(encode(&[], &mut out).is_none());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn corrupt_tables_and_bits_are_typed() {
+        let mut coded = Vec::new();
+        encode(b"hello huffman", &mut coded).unwrap();
+        // Truncated below the table floor.
+        assert!(matches!(
+            decode(&coded[..40], 5, &mut Vec::new()),
+            Err(WireError::Truncated { at: 45 })
+        ));
+        // All-zero length table has no symbols.
+        let empty = vec![0u8; TABLE_BYTES];
+        assert_eq!(
+            decode(&empty, 9, &mut Vec::new()),
+            Err(WireError::BadHuffman { at: 9 })
+        );
+        // Over-subscribed table: every symbol claims length 1.
+        let mut bad = vec![0x11u8; 128];
+        bad.extend_from_slice(&1u32.to_be_bytes());
+        bad.push(0);
+        assert_eq!(
+            decode(&bad, 0, &mut Vec::new()),
+            Err(WireError::BadHuffman { at: 0 })
+        );
+        // Bit stream cut short: one byte of bits cannot carry 100
+        // symbols at >= 1 bit each.
+        let mut long = Vec::new();
+        encode(&[0x42; 100], &mut long).unwrap();
+        let cut = &long[..TABLE_BYTES + 1];
+        assert!(matches!(
+            decode(cut, 0, &mut Vec::new()),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,219 @@
+//! Word-level run-length tokens — the base coder under every
+//! non-raw section mode.
+//!
+//! Partial-bitstream payloads are dominated by zero words (sparse CLB
+//! frames, all-zero pad frames, and near-zero frame deltas), so the
+//! token stream distinguishes exactly two shapes:
+//!
+//! * `0x00 n:u16` — `n` zero words (`1 <= n <= 65535`)
+//! * `0x01 n:u16 w*4n` — `n` literal words, big-endian
+//!
+//! All multi-byte fields are big-endian, matching the SelectMAP byte
+//! order used everywhere else in the repo.
+
+use crate::WireError;
+
+/// Longest run one token can carry.
+pub const MAX_RUN: usize = u16::MAX as usize;
+
+/// Append the RLE token stream for `words` to `out`.
+pub fn encode(words: &[u32], out: &mut Vec<u8>) {
+    let mut i = 0;
+    while i < words.len() {
+        if words[i] == 0 {
+            let mut n = 1;
+            while i + n < words.len() && words[i + n] == 0 && n < MAX_RUN {
+                n += 1;
+            }
+            out.push(0x00);
+            out.extend_from_slice(&(n as u16).to_be_bytes());
+            i += n;
+        } else {
+            let mut n = 1;
+            while i + n < words.len() && words[i + n] != 0 && n < MAX_RUN {
+                n += 1;
+            }
+            out.push(0x01);
+            out.extend_from_slice(&(n as u16).to_be_bytes());
+            for &w in &words[i..i + n] {
+                out.extend_from_slice(&w.to_be_bytes());
+            }
+            i += n;
+        }
+    }
+}
+
+/// Decode an RLE token stream into `out` (appending), expecting exactly
+/// `expect_words` decoded words and consuming all of `tokens`.
+///
+/// `abs` is the byte offset of `tokens[0]` within the container, so
+/// errors carry container-absolute offsets; `section` names the section
+/// being decoded for the span errors.
+pub fn decode_into(
+    tokens: &[u8],
+    abs: usize,
+    section: usize,
+    expect_words: usize,
+    out: &mut Vec<u32>,
+) -> Result<(), WireError> {
+    let start = out.len();
+    let mut i = 0;
+    while i < tokens.len() {
+        let decoded = out.len() - start;
+        if decoded == expect_words {
+            // Tokens left over once the span is full: the stream
+            // disagrees with its own section header.
+            return Err(WireError::SectionOverflow { section });
+        }
+        let tok = tokens[i];
+        match tok {
+            0x00 => {
+                let Some(n) = run_len(tokens, i) else {
+                    return Err(WireError::Truncated {
+                        at: abs + tokens.len(),
+                    });
+                };
+                if decoded + n > expect_words {
+                    return Err(WireError::SectionOverflow { section });
+                }
+                out.resize(out.len() + n, 0);
+                i += 3;
+            }
+            0x01 => {
+                let Some(n) = run_len(tokens, i) else {
+                    return Err(WireError::Truncated {
+                        at: abs + tokens.len(),
+                    });
+                };
+                if decoded + n > expect_words {
+                    return Err(WireError::SectionOverflow { section });
+                }
+                let body = i + 3;
+                if body + 4 * n > tokens.len() {
+                    return Err(WireError::Truncated {
+                        at: abs + tokens.len(),
+                    });
+                }
+                for k in 0..n {
+                    let b = &tokens[body + 4 * k..body + 4 * k + 4];
+                    out.push(u32::from_be_bytes([b[0], b[1], b[2], b[3]]));
+                }
+                i = body + 4 * n;
+            }
+            _ => {
+                return Err(WireError::BadToken {
+                    at: abs + i,
+                    token: tok,
+                })
+            }
+        }
+    }
+    let decoded = out.len() - start;
+    if decoded != expect_words {
+        return Err(WireError::SectionUnderflow {
+            section,
+            words: decoded,
+        });
+    }
+    Ok(())
+}
+
+/// The u16 run length at token offset `i`, or `None` when truncated.
+/// A zero run length is folded into `None` territory by the caller's
+/// overflow/underflow accounting — it can never make progress, so
+/// treat it as a bad token instead.
+fn run_len(tokens: &[u8], i: usize) -> Option<usize> {
+    if i + 3 > tokens.len() {
+        return None;
+    }
+    let n = u16::from_be_bytes([tokens[i + 1], tokens[i + 2]]) as usize;
+    // A zero-length run never advances the decoder; reject it so a
+    // corrupt count cannot loop forever.
+    (n > 0).then_some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(words: &[u32]) {
+        let mut tokens = Vec::new();
+        encode(words, &mut tokens);
+        let mut back = Vec::new();
+        decode_into(&tokens, 0, 0, words.len(), &mut back).expect("decode");
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn round_trips_mixed_content() {
+        round_trip(&[]);
+        round_trip(&[0]);
+        round_trip(&[1]);
+        round_trip(&[0, 0, 0, 5, 6, 0, 7]);
+        round_trip(&vec![0; 200_000]); // forces multiple max-run tokens
+        let mut big: Vec<u32> = (1..=70_000).collect();
+        big.extend_from_slice(&[0; 9]);
+        round_trip(&big);
+    }
+
+    #[test]
+    fn zeros_compress_literals_do_not() {
+        let mut z = Vec::new();
+        encode(&[0; 1000], &mut z);
+        assert_eq!(z.len(), 3);
+        let mut l = Vec::new();
+        encode(&[0xFFFF_FFFF; 4], &mut l);
+        assert_eq!(l.len(), 3 + 16);
+    }
+
+    #[test]
+    fn bad_token_reports_absolute_offset() {
+        let tokens = [0x00, 0x00, 0x02, 0x07, 0x00, 0x01];
+        let mut out = Vec::new();
+        let err = decode_into(&tokens, 100, 3, 5, &mut out).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::BadToken {
+                at: 103,
+                token: 0x07
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_and_span_mismatches_are_typed() {
+        let mut out = Vec::new();
+        // Literal token that promises more words than follow.
+        let mut t = vec![0x01, 0x00, 0x02, 0xAA, 0xBB, 0xCC, 0xDD];
+        assert_eq!(
+            decode_into(&t, 10, 0, 2, &mut out),
+            Err(WireError::Truncated { at: 17 })
+        );
+        // Count field itself cut off.
+        assert_eq!(
+            decode_into(&[0x00, 0x00], 0, 0, 4, &mut out),
+            Err(WireError::Truncated { at: 2 })
+        );
+        // Zero-length run can never progress.
+        assert!(matches!(
+            decode_into(&[0x00, 0x00, 0x00], 0, 0, 4, &mut out),
+            Err(WireError::Truncated { .. })
+        ));
+        // More words than the section declares.
+        t = vec![0x00, 0x00, 0x05];
+        assert_eq!(
+            decode_into(&t, 0, 7, 3, &mut out),
+            Err(WireError::SectionOverflow { section: 7 })
+        );
+        // Fewer words than the section declares.
+        t = vec![0x00, 0x00, 0x02];
+        out.clear();
+        assert_eq!(
+            decode_into(&t, 0, 2, 3, &mut out),
+            Err(WireError::SectionUnderflow {
+                section: 2,
+                words: 2
+            })
+        );
+    }
+}
